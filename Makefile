@@ -1,0 +1,27 @@
+# Convenience targets for the LogCL reproduction.
+
+.PHONY: install test test-fast bench bench-table3 experiments clean-cache lint
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+test-fast:  ## unit tests only (skips the slower end-to-end training tests)
+	pytest tests/ --ignore=tests/integration
+
+bench:  ## regenerate every paper table/figure (cached under benchmarks/.cache)
+	pytest benchmarks/ --benchmark-only -s
+
+bench-table3:
+	pytest benchmarks/test_table3_main_results.py --benchmark-only -s
+
+experiments:  ## rebuild EXPERIMENTS.md from benchmarks/results/
+	python benchmarks/aggregate_results.py
+
+clean-cache:  ## force full retraining of all benchmark models
+	rm -rf benchmarks/.cache benchmarks/results
+
+lint:
+	python -m pyflakes src/repro || true

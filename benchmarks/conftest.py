@@ -1,0 +1,12 @@
+"""Benchmark suite configuration.
+
+The heavy lifting (training) happens inside the cached harness; the
+pytest-benchmark timer wraps the (possibly cached) experiment call so the
+suite integrates with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `_harness` importable regardless of the pytest rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

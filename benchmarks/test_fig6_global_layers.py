@@ -1,0 +1,44 @@
+"""Fig. 6 — number of R-GCN layers (hops) in the global encoder.
+
+The paper sweeps 1/2/3 layers and finds: two hops slightly beat one hop;
+a third hop adds nothing on ICEWS14 and hurts on ICEWS18.
+
+Expected shape: 2 layers >= 1 layer - small tolerance; 3 layers does not
+improve meaningfully over 2.
+"""
+
+import pytest
+
+from _harness import emit, logcl_overrides, run_experiment, write_result_table
+
+# bench-scale reduction: layer sweep on the primary dataset.
+DATASETS = ("icews14_like",)
+LAYERS = (1, 2, 3)
+
+
+def _run(dataset_name):
+    return {layers: run_experiment(
+                "logcl", dataset_name,
+                model_overrides=logcl_overrides(global_layers=layers),
+                train_overrides={"epochs": 16})
+            for layers in LAYERS}
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_fig6(benchmark, dataset_name):
+    rows = benchmark.pedantic(_run, args=(dataset_name,),
+                              rounds=1, iterations=1)
+    lines = [f"## Fig. 6 — global R-GCN layers on {dataset_name}",
+             f"{'layers':8s}{'MRR':>8s}{'H@1':>8s}{'H@3':>8s}{'H@10':>8s}"]
+    for layers in LAYERS:
+        m = rows[layers]["metrics"]
+        lines.append(f"{layers:<8d}{m['mrr']:8.2f}{m['hits@1']:8.2f}"
+                     f"{m['hits@3']:8.2f}{m['hits@10']:8.2f}")
+    emit(lines)
+    write_result_table(f"fig6_{dataset_name}", lines)
+
+    mrr = {layers: rows[layers]["metrics"]["mrr"] for layers in LAYERS}
+    # two hops at least match one hop (tolerance for bench-scale jitter)
+    assert mrr[2] >= mrr[1] - 2.5
+    # a third hop brings no meaningful gain over two
+    assert mrr[3] <= mrr[2] + 3.0

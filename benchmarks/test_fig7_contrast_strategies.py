@@ -1,0 +1,50 @@
+"""Fig. 7 — single query-contrast strategies: lg / gl / ll / gg.
+
+The paper trains LogCL with exactly one of the four contrast losses at a
+time and finds the cross-view strategies (lg, gl) slightly ahead of the
+within-view ones (gg, ll).
+
+Expected shape: the best cross-view variant is at least as good as the
+best within-view variant (small tolerance), and all four stay in a
+narrow band around the full model.
+"""
+
+import pytest
+
+from _harness import emit, logcl_overrides, run_experiment, write_result_table
+
+# bench-scale reduction: strategy sweep on the primary dataset.
+DATASETS = ("icews14_like",)
+STRATEGIES = ("lg", "gl", "ll", "gg")
+
+
+def _run(dataset_name):
+    rows = {}
+    for strategy in STRATEGIES:
+        rows[strategy] = run_experiment(
+            "logcl", dataset_name,
+            model_overrides=logcl_overrides(
+                contrast_strategies=(strategy,)),
+            train_overrides={"epochs": 16})
+    return rows
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_fig7(benchmark, dataset_name):
+    rows = benchmark.pedantic(_run, args=(dataset_name,),
+                              rounds=1, iterations=1)
+    lines = [f"## Fig. 7 — contrast strategies on {dataset_name}",
+             f"{'strategy':10s}{'MRR':>8s}{'H@1':>8s}"]
+    for strategy in STRATEGIES:
+        m = rows[strategy]["metrics"]
+        lines.append(f"LogCL-{strategy:4s}{m['mrr']:8.2f}{m['hits@1']:8.2f}")
+    emit(lines)
+    write_result_table(f"fig7_{dataset_name}", lines)
+
+    mrr = {s: rows[s]["metrics"]["mrr"] for s in STRATEGIES}
+    cross = max(mrr["lg"], mrr["gl"])
+    within = max(mrr["ll"], mrr["gg"])
+    assert cross >= within - 2.5, (
+        f"cross-view contrast should lead: cross {cross:.2f} vs "
+        f"within {within:.2f}")
+    assert max(mrr.values()) - min(mrr.values()) < 8.0

@@ -1,0 +1,46 @@
+"""Fig. 8 — sweeping the fusion weight lambda (local vs global).
+
+``fusion_lambda`` is the weight of the local representation in Eq. 19
+(see LogCLConfig's docstring for the paper's sign convention).  The paper
+finds an inverted-U: pure-global (0) and pure-local (1) both lose to a
+mixture, with the optimum near 0.9.
+
+Expected shape: the best MRR occurs strictly inside (0, 1), i.e. some
+mixture beats both endpoints (small tolerance at bench scale).
+"""
+
+import pytest
+
+from _harness import emit, logcl_overrides, run_experiment, write_result_table
+
+# bench-scale reduction: lambda sweep on the primary dataset.
+DATASETS = ("icews14_like",)
+LAMBDAS = (0.0, 0.3, 0.6, 0.9, 1.0)
+
+
+def _run(dataset_name):
+    return {lam: run_experiment(
+                "logcl", dataset_name,
+                model_overrides=logcl_overrides(fusion_lambda=lam),
+                train_overrides={"epochs": 16})
+            for lam in LAMBDAS}
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_fig8(benchmark, dataset_name):
+    rows = benchmark.pedantic(_run, args=(dataset_name,),
+                              rounds=1, iterations=1)
+    lines = [f"## Fig. 8 — fusion lambda sweep on {dataset_name}",
+             f"{'lambda':8s}{'MRR':>8s}{'H@3':>8s}"]
+    for lam in LAMBDAS:
+        m = rows[lam]["metrics"]
+        lines.append(f"{lam:<8.1f}{m['mrr']:8.2f}{m['hits@3']:8.2f}")
+    emit(lines)
+    write_result_table(f"fig8_{dataset_name}", lines)
+
+    mrr = {lam: rows[lam]["metrics"]["mrr"] for lam in LAMBDAS}
+    interior_best = max(mrr[lam] for lam in LAMBDAS if 0.0 < lam < 1.0)
+    # a mixture beats the pure-global endpoint clearly and is at least
+    # competitive with the pure-local endpoint
+    assert interior_best > mrr[0.0]
+    assert interior_best >= mrr[1.0] - 2.0

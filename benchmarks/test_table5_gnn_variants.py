@@ -1,0 +1,64 @@
+"""Table V — swapping the GNN aggregator inside both LogCL encoders.
+
+The paper replaces R-GCN with CompGCN (sub / mult composition) and KBGAT
+and finds all four variants within a small band, with R-GCN competitive
+everywhere and best on ICEWS05-15.
+
+Expected shape: max-min MRR spread across aggregators stays small
+(< 6 MRR points at bench scale) on every dataset.
+"""
+
+import pytest
+
+from _harness import emit, logcl_overrides, run_experiment, write_result_table
+
+# bench-scale reduction: aggregator swap shown on the primary dataset.
+DATASETS = ("icews14_like",)
+
+AGGREGATORS = {
+    "LogCL (RGCN)": "rgcn",
+    "LogCL (CompGCN-sub)": "compgcn-sub",
+    "LogCL (CompGCN-mult)": "compgcn-mult",
+    "LogCL (KBGAT)": "kbgat",
+}
+
+PAPER_MRR = {
+    "icews14_like": {"LogCL (RGCN)": 48.87, "LogCL (CompGCN-sub)": 49.25,
+                     "LogCL (CompGCN-mult)": 47.92, "LogCL (KBGAT)": 48.46},
+    "icews18_like": {"LogCL (RGCN)": 35.67, "LogCL (CompGCN-sub)": 35.33,
+                     "LogCL (CompGCN-mult)": 35.32, "LogCL (KBGAT)": 35.70},
+    "icews0515_like": {"LogCL (RGCN)": 57.04, "LogCL (CompGCN-sub)": 56.93,
+                       "LogCL (CompGCN-mult)": 56.40, "LogCL (KBGAT)": 56.01},
+}
+
+
+def _run(dataset_name):
+    rows = {}
+    for label, kind in AGGREGATORS.items():
+        rows[label] = run_experiment(
+            "logcl", dataset_name,
+            model_overrides=logcl_overrides(aggregator=kind),
+            train_overrides={"epochs": 16})
+    return rows
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_table5(benchmark, dataset_name):
+    rows = benchmark.pedantic(_run, args=(dataset_name,),
+                              rounds=1, iterations=1)
+    lines = [f"## Table V — GNN aggregators on {dataset_name}",
+             f"{'variant':24s} {'MRR':>7s} {'H@1':>7s} {'paper MRR':>10s}"]
+    for label in AGGREGATORS:
+        m = rows[label]["metrics"]
+        lines.append(f"{label:24s} {m['mrr']:7.2f} {m['hits@1']:7.2f} "
+                     f"{PAPER_MRR[dataset_name][label]:10.2f}")
+    emit(lines)
+    write_result_table(f"table5_{dataset_name}", lines)
+
+    mrrs = [rows[label]["metrics"]["mrr"] for label in AGGREGATORS]
+    spread = max(mrrs) - min(mrrs)
+    assert spread < 8.0, (
+        f"aggregator choice should be secondary (paper: ~1 MRR point); "
+        f"measured spread {spread:.2f} on {dataset_name}")
+    # R-GCN competitive: within 3 points of the best variant
+    assert rows["LogCL (RGCN)"]["metrics"]["mrr"] >= max(mrrs) - 3.0

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Attention inspection: where does LogCL look in the local window?
+
+Trains a small LogCL, then prints the entity-aware attention
+distribution over the local snapshot window for real test queries —
+the measurable version of the paper's Fig. 1 story (the informative
+snapshot is not always the most recent one).
+
+Also reports the average attention entropy: low entropy means the
+model actively filters snapshots instead of treating them uniformly.
+
+Usage::
+
+    python examples/attention_inspection.py [--epochs 8]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import LogCL, LogCLConfig, TrainConfig, Trainer
+from repro.analysis import (attention_entropy, format_attention_report,
+                            snapshot_attention)
+from repro.datasets import load_preset
+from repro.training import HistoryContext, iter_timestep_batches
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--window", type=int, default=4)
+    args = parser.parse_args()
+
+    dataset = load_preset("tiny")
+    model = LogCL(LogCLConfig(dim=32, window=args.window, seed=0,
+                              temperature=0.1),
+                  dataset.num_entities, dataset.num_relations)
+    print("Training LogCL ...")
+    Trainer(TrainConfig(epochs=args.epochs, lr=2e-3, eval_every=2,
+                        window=args.window)).fit(model, dataset)
+    model.eval()
+
+    context = HistoryContext(dataset, window=args.window)
+    context.reset()
+    batch = next(iter_timestep_batches(dataset, "test", context,
+                                       phases=("forward",)))
+    weights = snapshot_attention(model, batch)
+
+    print(f"\nSnapshot attention at t={batch.time} "
+          f"(window of {len(batch.snapshots)} snapshots):\n")
+    for line in format_attention_report(weights, max_rows=8):
+        print("  " + line)
+
+    entropies = attention_entropy(weights)
+    mean_entropy = float(np.mean(list(entropies.values())))
+    uniform = np.log(max(len(batch.snapshots), 1))
+    print(f"\nmean attention entropy {mean_entropy:.3f} "
+          f"(uniform would be {uniform:.3f})")
+    if mean_entropy < 0.95 * uniform:
+        print("-> the model concentrates on a subset of snapshots "
+              "(entity-aware filtering at work)")
+    else:
+        print("-> near-uniform attention on this batch")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Custom dataset: bring your own quadruple files and compare models.
+
+Demonstrates the IO layer end-to-end with the RE-GCN-compatible on-disk
+format (``train.txt`` / ``valid.txt`` / ``test.txt`` / ``stat.txt`` with
+tab-separated ``subject relation object time`` ids) — the same format the
+public ICEWS14/18/05-15 and GDELT dumps ship in, so pointing
+``load_benchmark_directory`` at a real download reproduces the paper on
+genuine data.
+
+Here we write a synthetic preset to disk, load it back, and run a small
+model comparison — the typical workflow for a user evaluating LogCL on
+their own event data.
+
+Usage::
+
+    python examples/custom_dataset.py [--epochs 8]
+"""
+
+import argparse
+import tempfile
+
+from repro import TrainConfig, Trainer
+from repro.datasets import load_preset
+from repro.eval import format_metric_row
+from repro.registry import build_model
+from repro.tkg import load_benchmark_directory, save_benchmark_directory
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--models", nargs="+",
+                        default=["distmult", "cygnet", "regcn", "logcl"])
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = f"{tmp}/my_tkg"
+        print(f"Writing an example dataset to {directory} ...")
+        save_benchmark_directory(load_preset("tiny"), directory)
+
+        # This is the entry point you would use with real ICEWS files.
+        dataset = load_benchmark_directory(directory)
+        print(f"Loaded {dataset.name!r}: {dataset.num_entities} entities, "
+              f"{dataset.num_relations} relations, "
+              f"{len(dataset.train)} training facts\n")
+
+        rows = []
+        for name in args.models:
+            model = build_model(name, dataset, dim=32)
+            trainer = Trainer(TrainConfig(epochs=args.epochs, lr=2e-3,
+                                          eval_every=2, window=3))
+            result = trainer.fit(model, dataset)
+            metrics = trainer.test(model, dataset)
+            rows.append((name, metrics))
+            print(f"  trained {name:12s} ({result.epochs_run} epochs, "
+                  f"{result.seconds:.0f}s)")
+
+        print("\nTest metrics (time-aware filtered):")
+        for name, metrics in sorted(rows, key=lambda kv: -kv[1]["mrr"]):
+            print("  " + format_metric_row(name, metrics))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Dataset analysis: statistics, reference heuristics, pattern breakdown.
+
+A no-training tour of the analysis tooling:
+
+1. Table II-style statistics with temporal diagnostics for each preset;
+2. the frequency / recency reference scorers (the ceilings for static
+   memorization and naive recency — any temporal model should beat them
+   on structure-bearing patterns);
+3. a per-pattern breakdown of the recency heuristic, showing which
+   generative patterns it can and cannot resolve.
+
+Runs in well under a minute; useful as a first look at any new dataset.
+
+Usage::
+
+    python examples/dataset_analysis.py [--preset icews14_like]
+"""
+
+import argparse
+
+from repro.analysis import (compute_statistics, format_pattern_table,
+                            format_statistics_table, per_pattern_metrics)
+from repro.datasets import load_preset, preset_names
+from repro.eval import (FrequencyHeuristic, RecencyHeuristic, evaluate,
+                        format_metric_row)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="tiny", choices=preset_names())
+    args = parser.parse_args()
+
+    dataset = load_preset(args.preset)
+
+    print("Dataset statistics (Table II layout + temporal diagnostics):")
+    for line in format_statistics_table([compute_statistics(dataset)]):
+        print("  " + line)
+    print()
+
+    print("Reference heuristics on the test split (time-aware filtered):")
+    records = {}
+    for name, heuristic in (("frequency", FrequencyHeuristic(dataset.num_entities)),
+                            ("recency", RecencyHeuristic(dataset.num_entities))):
+        recs = []
+        metrics = evaluate(heuristic, dataset, "test", window=3, records=recs)
+        records[name] = recs
+        print("  " + format_metric_row(f"{name}-heuristic", metrics))
+    print()
+
+    print("Recency heuristic per generative pattern:")
+    breakdown = per_pattern_metrics(records["recency"], dataset)
+    for line in format_pattern_table(breakdown, title=""):
+        if line:
+            print("  " + line)
+    print()
+    print("Reading: recency resolves `markov` (persistent answers) but is")
+    print("capped on `drift` (the answer is the *successor* of the last")
+    print("observation), `periodic` (phase), and `transfer` (announced by")
+    print("a different relation) — the headroom temporal models exploit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Noise robustness: reproduce the paper's Fig. 2/5 protocol in miniature.
+
+Trains LogCL and its no-contrastive-learning ablation (LogCL-w/o-cl) on
+the same data, then evaluates both under increasing Gaussian perturbation
+of the input entity embeddings.  The contrastive model should degrade
+more gracefully — that is the paper's second headline claim.
+
+Usage::
+
+    python examples/noise_robustness.py [--epochs 10]
+"""
+
+import argparse
+
+from repro import LogCL, LogCLConfig, TrainConfig, Trainer
+from repro.datasets import load_preset
+from repro.robustness import noise_sweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--sigmas", type=float, nargs="+",
+                        default=[0.0, 0.5, 1.0, 2.0])
+    args = parser.parse_args()
+
+    dataset = load_preset("tiny")
+    trainer = Trainer(TrainConfig(epochs=args.epochs, lr=2e-3, eval_every=2,
+                                  window=3))
+
+    sweeps = {}
+    for label, use_cl in (("LogCL", True), ("LogCL-w/o-cl", False)):
+        print(f"Training {label} ...")
+        model = LogCL(LogCLConfig(dim=32, window=3, seed=0,
+                                  use_contrast=use_cl),
+                      dataset.num_entities, dataset.num_relations)
+        trainer.fit(model, dataset)
+        sweeps[label] = noise_sweep(model, dataset, sigmas=tuple(args.sigmas),
+                                    window=3, model_name=label)
+
+    print("\nMRR under Gaussian input noise (test split):")
+    header = "sigma".ljust(8) + "".join(f"{name:>16s}" for name in sweeps)
+    print(header)
+    for i, sigma in enumerate(args.sigmas):
+        row = f"{sigma:<8.2f}"
+        for sweep in sweeps.values():
+            row += f"{sweep.points[i].mrr:16.2f}"
+        print(row)
+
+    print("\nRelative MRR drop at the strongest noise:")
+    for name, sweep in sweeps.items():
+        drop = sweep.degradation_percent(args.sigmas[-1])
+        print(f"  {name:16s} -{drop:.1f}%")
+    logcl_drop = sweeps["LogCL"].degradation_percent(args.sigmas[-1])
+    ablation_drop = sweeps["LogCL-w/o-cl"].degradation_percent(args.sigmas[-1])
+    verdict = "holds" if logcl_drop <= ablation_drop else "does NOT hold"
+    print(f"\nPaper's robustness claim (contrast degrades less): {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works with the legacy (non-PEP-660) editable path on
+offline machines where ``wheel`` is unavailable.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "LogCL: Local-Global History-Aware Contrastive Learning for "
+        "Temporal Knowledge Graph Reasoning (ICDE 2024) reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22"],
+)

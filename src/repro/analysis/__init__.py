@@ -1,0 +1,16 @@
+"""``repro.analysis`` — dataset statistics and per-pattern breakdowns."""
+
+from .attention_inspection import (attention_entropy,
+                                   format_attention_report,
+                                   snapshot_attention)
+from .patterns import (PATTERN_LABELS, format_pattern_table, label_of_record,
+                       per_pattern_metrics)
+from .statistics import (DatasetStatistics, compute_statistics,
+                         format_statistics_table)
+
+__all__ = [
+    "snapshot_attention", "attention_entropy", "format_attention_report",
+    "per_pattern_metrics", "label_of_record", "format_pattern_table",
+    "PATTERN_LABELS",
+    "DatasetStatistics", "compute_statistics", "format_statistics_table",
+]

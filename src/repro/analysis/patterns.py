@@ -1,0 +1,69 @@
+"""Per-pattern metric breakdown for synthetic benchmarks.
+
+The synthetic generators tag every fact with the generative pattern that
+produced it (``TKGDataset.provenance``).  Joining those tags with the
+per-query ranks produced by :func:`repro.eval.evaluate` yields a
+decomposition of a model's MRR by pattern — which makes the *mechanism*
+of each model visible:
+
+* copy models (CyGNet) should dominate on ``sparse`` repeats,
+* recurrent models (RE-GCN) on ``markov`` persistence,
+* structure-aware temporal models on ``drift`` succession,
+* time-aware/global models on ``periodic`` phase,
+* nobody on ``noise``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..eval.metrics import RankingAccumulator
+from ..eval.protocol import QueryRecord
+from ..tkg.dataset import TKGDataset
+
+PATTERN_LABELS = ("markov", "drift", "transfer", "periodic", "sparse",
+                  "storyline", "noise")
+
+
+def label_of_record(record: QueryRecord, dataset: TKGDataset) -> Optional[str]:
+    """Look up the generative pattern of the fact behind one query.
+
+    Inverse-phase queries are mapped back to their original orientation
+    before the provenance lookup.
+    """
+    if dataset.provenance is None:
+        return None
+    if record.phase == "inverse":
+        fact = (record.gold_object, record.relation - dataset.num_relations,
+                record.subject, record.time)
+    else:
+        fact = (record.subject, record.relation, record.gold_object,
+                record.time)
+    return dataset.provenance.get(fact)
+
+
+def per_pattern_metrics(records: Iterable[QueryRecord],
+                        dataset: TKGDataset) -> Dict[str, Dict[str, float]]:
+    """Group query ranks by generative pattern and summarize each group.
+
+    Returns ``{pattern: {"mrr": ..., "hits@1": ..., ...}}``; queries whose
+    fact has no provenance entry fall under ``"unknown"``.
+    """
+    groups: Dict[str, RankingAccumulator] = defaultdict(RankingAccumulator)
+    for record in records:
+        label = label_of_record(record, dataset) or "unknown"
+        groups[label].add(record.rank)
+    return {label: acc.summary() for label, acc in sorted(groups.items())}
+
+
+def format_pattern_table(breakdown: Dict[str, Dict[str, float]],
+                         title: str = "per-pattern breakdown") -> List[str]:
+    """Render the decomposition as aligned text lines."""
+    lines = [title,
+             f"{'pattern':12s}{'queries':>9s}{'MRR':>8s}{'H@1':>8s}{'H@10':>8s}"]
+    for label, metrics in breakdown.items():
+        lines.append(f"{label:12s}{int(metrics['count']):>9d}"
+                     f"{metrics['mrr']:8.2f}{metrics['hits@1']:8.2f}"
+                     f"{metrics['hits@10']:8.2f}")
+    return lines

@@ -1,0 +1,49 @@
+"""``repro.baselines`` — re-implemented comparison systems (Table III).
+
+One representative per mechanism family of the paper's 20 baselines:
+
+=============  ==============  ==========================================
+Family         Models          Mechanism
+=============  ==============  ==========================================
+Static         DistMult,       score functions on time-free embeddings
+               ComplEx, ConvE,
+               Conv-TransE,
+               RotatE
+Interpolation  TTransE         additive time embeddings (untrained on
+                               future timestamps)
+               TA-DistMult     time-modulated relation embeddings
+               DE-SimplE       diachronic (oscillating) entity embeddings
+               TNTComplEx      temporal + static tensor factorization
+Extrapolation  CyGNet          global copy-generation (repetition only)
+               RE-NET          autoregressive neighborhood RNN
+               RE-GCN          local recurrent evolution only
+               CEN             multi-length evolutional ensemble
+               TiRGN           local evolution + global score gating
+               CENET           historical contrastive learning, no
+                               evolution
+=============  ==============  ==========================================
+"""
+
+from .base import EmbeddingBaseline
+from .cen import CEN
+from .cenet import CENET
+from .conv_transe import ConvTransEStatic
+from .conve import ConvE
+from .cygnet import CyGNet
+from .ght import GHT
+from .hismatch import HisMatch
+from .regcn import REGCN
+from .renet import RENet
+from .static_models import ComplEx, DistMult, RotatE
+from .temporal_embeddings import DESimplE, TADistMult, TNTComplEx
+from .tirgn import TiRGN
+from .ttranse import TTransE
+from .xerte import XERTE
+
+__all__ = [
+    "EmbeddingBaseline",
+    "DistMult", "ComplEx", "ConvE", "ConvTransEStatic", "RotatE",
+    "TTransE", "TADistMult", "DESimplE", "TNTComplEx",
+    "CyGNet", "RENet", "REGCN", "CEN", "TiRGN", "CENET", "GHT",
+    "HisMatch", "XERTE",
+]

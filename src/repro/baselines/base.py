@@ -1,0 +1,71 @@
+"""Shared scaffolding for re-implemented baseline models.
+
+Every baseline derives from :class:`EmbeddingBaseline`, which owns the
+entity and (inverse-augmented) relation embedding tables, the Gaussian
+input-noise hook (Fig. 2 protocol), and the Eq. 20-style multi-label loss
+over a raw ``(Q, |E|)`` score matrix.  Subclasses implement
+:meth:`score_batch`, returning logits for every candidate object.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..interface import ExtrapolationModel
+from ..nn import Embedding, Tensor, no_grad
+from ..nn.functional import multilabel_soft_loss
+from ..utils.seeding import spawn_rngs
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..training.context import TimestepBatch
+
+
+class EmbeddingBaseline(ExtrapolationModel):
+    """Base class: embeddings + generic loss/predict plumbing.
+
+    Parameters
+    ----------
+    num_entities, num_relations:
+        Vocabulary sizes (``num_relations`` counts *original* relations;
+        2x rows are allocated for the inverse-augmented space).
+    dim:
+        Embedding dimensionality.
+    seed:
+        Seed for parameter initialization (and the noise stream).
+    """
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int,
+                 seed: int = 0):
+        super().__init__(noise_seed=seed + 104729)
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.num_relations_aug = 2 * num_relations
+        self.dim = dim
+        rngs = spawn_rngs(seed, 4)
+        self.entity_embedding = Embedding(num_entities, dim, rngs[0])
+        self.relation_embedding = Embedding(self.num_relations_aug, dim, rngs[1])
+        self._extra_rngs = rngs[2:]
+
+    # -- hooks ----------------------------------------------------------------
+    def entities(self) -> Tensor:
+        """Noise-aware view of the entity table (the models' input)."""
+        return self.perturb_entities(self.entity_embedding.all())
+
+    def score_batch(self, batch: "TimestepBatch") -> Tensor:  # pragma: no cover
+        """Return raw logits of shape ``(len(batch), num_entities)``."""
+        raise NotImplementedError
+
+    # -- ExtrapolationModel ---------------------------------------------------
+    def loss_on(self, batch: "TimestepBatch") -> Tensor:
+        from ..core.model import _multihot_labels
+        logits = self.score_batch(batch)
+        labels = _multihot_labels(batch.subjects, batch.relations,
+                                  batch.objects, self.num_entities)
+        return multilabel_soft_loss(logits, labels)
+
+    def predict_on(self, batch: "TimestepBatch") -> np.ndarray:
+        with no_grad():
+            logits = self.score_batch(batch)
+        return logits.data

@@ -1,0 +1,62 @@
+"""CEN baseline (Li et al., ACL 2022) — complex evolutional networks.
+
+CEN's key idea is *length diversity*: evolutional patterns of different
+temporal spans are captured by evaluating the recurrent encoder over
+several history lengths and ensembling the decoders' scores.  Our
+implementation shares one RE-GCN-style encoder and runs it over a set of
+window lengths ``{1, 2, ..., m}``, averaging the per-length ConvTransE
+scores — the paper's "curriculum" of evolutional sequence lengths in its
+offline form.  Under the online protocol (Fig. 10) the model simply keeps
+training on revealed test facts like every other model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.decoder import ConvTransE
+from ..core.local_encoder import LocalRecurrentEncoder
+from ..graph import build_aggregator
+from ..nn import Tensor
+from ..nn.ops import index_select, l2_normalize, stack
+from .base import EmbeddingBaseline
+
+
+class CEN(EmbeddingBaseline):
+    """Multi-length evolutional ensemble."""
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int,
+                 seed: int = 0, lengths: Sequence[int] = (1, 2, 3),
+                 num_layers: int = 2, dropout: float = 0.2,
+                 num_kernels: int = 32):
+        if not lengths or min(lengths) < 1:
+            raise ValueError("lengths must be positive window sizes")
+        super().__init__(num_entities, num_relations, dim, seed)
+        self.lengths = tuple(sorted(set(lengths)))
+        aggregator = build_aggregator("rgcn", dim, num_layers,
+                                      self._extra_rngs[0], dropout)
+        self.encoder = LocalRecurrentEncoder(
+            num_entities, self.num_relations_aug, dim, time_dim=0,
+            aggregator=aggregator, rng=self._extra_rngs[1],
+            use_time_encoding=False, use_entity_attention=False)
+        self.decoder = ConvTransE(dim, self._extra_rngs[1],
+                                  num_kernels=num_kernels,
+                                  dropout_rate=dropout)
+
+    def score_batch(self, batch) -> Tensor:
+        snapshots = batch.snapshots
+        per_length = []
+        for length in self.lengths:
+            window = snapshots[-length:] if length <= len(snapshots) else snapshots
+            encoding = self.encoder(window, batch.time, self.entities(),
+                                    self.relation_embedding.all(),
+                                    batch.subjects, batch.relations)
+            entities = l2_normalize(encoding.entities)
+            subj = index_select(entities, batch.subjects)
+            rel = index_select(encoding.relations, batch.relations)
+            per_length.append(self.decoder(subj, rel, entities))
+        if len(per_length) == 1:
+            return per_length[0]
+        return stack(per_length, axis=0).mean(axis=0)

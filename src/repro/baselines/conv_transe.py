@@ -1,0 +1,30 @@
+"""Conv-TransE baseline (Shang et al., 2019) — static CNN scorer.
+
+The same ConvTransE decoder LogCL uses (§III-F), but applied directly on
+static embeddings with no historical encoding at all.  Its gap to RE-GCN
+and LogCL in Table III isolates the contribution of history modeling from
+the score function.
+"""
+
+from __future__ import annotations
+
+from ..core.decoder import ConvTransE as ConvTransEDecoder
+from ..nn import Tensor
+from ..nn.ops import index_select
+from .base import EmbeddingBaseline
+
+
+class ConvTransEStatic(EmbeddingBaseline):
+    """Static embeddings + the ConvTransE score function."""
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int,
+                 seed: int = 0, num_kernels: int = 32):
+        super().__init__(num_entities, num_relations, dim, seed)
+        self.decoder = ConvTransEDecoder(dim, self._extra_rngs[0],
+                                         num_kernels=num_kernels)
+
+    def score_batch(self, batch) -> Tensor:
+        entities = self.entities()
+        subj = index_select(entities, batch.subjects)
+        rel = index_select(self.relation_embedding.all(), batch.relations)
+        return self.decoder(subj, rel, entities)

@@ -1,0 +1,53 @@
+"""ConvE baseline (Dettmers et al., AAAI 2018) — static CNN scorer.
+
+Subject and relation embeddings are reshaped into a 2-D grid, stacked,
+convolved with small 2-D kernels, and projected back to the embedding
+space; candidates are scored by dot product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Parameter, Tensor
+from ..nn import init as weight_init
+from ..nn.ops import concat, conv2d_valid, dropout, index_select
+from .base import EmbeddingBaseline
+
+
+class ConvE(EmbeddingBaseline):
+    """2-D convolutional scoring over stacked (subject, relation) grids."""
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int,
+                 seed: int = 0, num_kernels: int = 16, kernel_size: int = 3,
+                 grid_height: int = 4, dropout_rate: float = 0.2):
+        if dim % grid_height != 0:
+            raise ValueError("dim must be divisible by grid_height")
+        super().__init__(num_entities, num_relations, dim, seed)
+        self.grid_height = grid_height
+        self.grid_width = dim // grid_height
+        if self.grid_height * 2 < kernel_size or self.grid_width < kernel_size:
+            raise ValueError("grid too small for the kernel")
+        rng = self._extra_rngs[0]
+        self.conv_weight = Parameter(weight_init.kaiming_uniform(
+            (num_kernels, 1, kernel_size, kernel_size), rng))
+        self.conv_bias = Parameter(weight_init.zeros((num_kernels,)))
+        out_h = 2 * grid_height - kernel_size + 1
+        out_w = self.grid_width - kernel_size + 1
+        self.fc = Linear(num_kernels * out_h * out_w, dim, rng)
+        self.dropout_rate = dropout_rate
+        self._rng = self._extra_rngs[1]
+
+    def score_batch(self, batch) -> Tensor:
+        entities = self.entities()
+        subj = index_select(entities, batch.subjects)
+        rel = index_select(self.relation_embedding.all(), batch.relations)
+        q = subj.shape[0]
+        grid_s = subj.reshape(q, 1, self.grid_height, self.grid_width)
+        grid_r = rel.reshape(q, 1, self.grid_height, self.grid_width)
+        stacked = concat([grid_s, grid_r], axis=2)   # (Q, 1, 2H, W)
+        feat = conv2d_valid(stacked, self.conv_weight, self.conv_bias).relu()
+        feat = dropout(feat, self.dropout_rate, self.training, self._rng)
+        flat = feat.reshape(q, -1)
+        query = self.fc(flat).relu()
+        return query @ entities.T

@@ -1,0 +1,59 @@
+"""GHT-style baseline (Sun et al., EMNLP 2022) — transformer over history.
+
+GHT encodes a query subject's history with Transformer modules.  This
+compact variant builds, for every entity, a sequence of per-snapshot
+neighborhood summaries over the local window, adds a learned position
+(recency) embedding, runs causal multi-head self-attention, and decodes
+with the usual dot-product scorer.  The Hawkes-process intensity of the
+original is approximated by the learned recency embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Embedding, Linear, Tensor
+from ..nn.attention import MultiHeadSelfAttention, causal_mask
+from ..nn.ops import concat, index_select, l2_normalize, segment_mean, stack
+from .base import EmbeddingBaseline
+
+
+class GHT(EmbeddingBaseline):
+    """Causal self-attention over per-snapshot neighborhood summaries."""
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int,
+                 seed: int = 0, num_heads: int = 4, max_window: int = 16):
+        super().__init__(num_entities, num_relations, dim, seed)
+        self.attention = MultiHeadSelfAttention(dim, num_heads,
+                                                self._extra_rngs[0])
+        self.position = Embedding(max_window, dim, self._extra_rngs[1],
+                                  scale=0.1)
+        self.max_window = max_window
+        self.decoder = Linear(3 * dim, dim, self._extra_rngs[1])
+
+    def _history_sequence(self, batch, entities: Tensor) -> Tensor:
+        """(N, window, d): per-snapshot neighbor summaries per entity."""
+        steps = []
+        snapshots = batch.snapshots[-self.max_window:]
+        for position, snapshot in enumerate(snapshots):
+            summary = segment_mean(index_select(entities, snapshot.dst),
+                                   snapshot.src, self.num_entities)
+            pos_rows = self.position(
+                np.full(self.num_entities, position, dtype=np.int64))
+            steps.append(summary + pos_rows)
+        if not steps:
+            steps = [entities * 0.0]
+        return stack(steps, axis=1)
+
+    def score_batch(self, batch) -> Tensor:
+        entities = self.entities()
+        sequence = self._history_sequence(batch, entities)  # (N, w, d)
+        window = sequence.shape[1]
+        encoded = self.attention(sequence, mask=causal_mask(window))
+        # final position summarizes each entity's history
+        history = l2_normalize(encoded[:, window - 1, :])
+        subj = index_select(entities, batch.subjects)
+        hist_s = index_select(history, batch.subjects)
+        rel = index_select(self.relation_embedding.all(), batch.relations)
+        query = self.decoder(concat([subj, hist_s, rel], axis=-1)).tanh()
+        return query @ entities.T

@@ -1,0 +1,85 @@
+"""Static KG baselines: DistMult, ComplEx, RotatE (Table III top block).
+
+These models ignore time entirely — exactly how the paper evaluates SKG
+methods ("the time dimension is removed on all TKG datasets").  Each
+defines a triple score ``f(s, r, o)`` computed against every candidate
+object at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor
+from ..nn.ops import index_select
+from .base import EmbeddingBaseline
+
+
+class DistMult(EmbeddingBaseline):
+    """Bilinear-diagonal scoring: ``f = <h_s, r, h_o>`` (Yang et al. 2015)."""
+
+    def score_batch(self, batch) -> Tensor:
+        entities = self.entities()
+        subj = index_select(entities, batch.subjects)
+        rel = index_select(self.relation_embedding.all(), batch.relations)
+        return (subj * rel) @ entities.T
+
+
+class ComplEx(EmbeddingBaseline):
+    """Complex bilinear scoring (Trouillon et al. 2016).
+
+    Embeddings are stored as real vectors whose two halves are the real
+    and imaginary parts; ``f = Re(<h_s, r, conj(h_o)>)``.
+    """
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int,
+                 seed: int = 0):
+        if dim % 2 != 0:
+            raise ValueError("ComplEx needs an even embedding dim")
+        super().__init__(num_entities, num_relations, dim, seed)
+
+    def score_batch(self, batch) -> Tensor:
+        half = self.dim // 2
+        entities = self.entities()
+        relations = self.relation_embedding.all()
+        subj = index_select(entities, batch.subjects)
+        rel = index_select(relations, batch.relations)
+        s_re, s_im = subj[:, :half], subj[:, half:]
+        r_re, r_im = rel[:, :half], rel[:, half:]
+        e_re, e_im = entities[:, :half], entities[:, half:]
+        # Re(<s, r, conj(o)>) expanded into four real bilinear terms
+        return ((s_re * r_re) @ e_re.T + (s_im * r_re) @ e_im.T
+                + (s_re * r_im) @ e_im.T - (s_im * r_im) @ e_re.T)
+
+
+class RotatE(EmbeddingBaseline):
+    """Rotation in the complex plane (Sun et al. 2019).
+
+    The relation embedding parameterizes per-dimension phases; the score
+    is the negative L1 distance between the rotated subject and the
+    candidate object.
+    """
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int,
+                 seed: int = 0):
+        if dim % 2 != 0:
+            raise ValueError("RotatE needs an even embedding dim")
+        super().__init__(num_entities, num_relations, dim, seed)
+
+    def score_batch(self, batch) -> Tensor:
+        half = self.dim // 2
+        entities = self.entities()
+        subj = index_select(entities, batch.subjects)
+        rel = index_select(self.relation_embedding.all(), batch.relations)
+        phase = rel[:, :half]                       # use first half as phases
+        cos_p, sin_p = phase.cos(), phase.sin()
+        s_re, s_im = subj[:, :half], subj[:, half:]
+        rot_re = s_re * cos_p - s_im * sin_p        # (Q, half)
+        rot_im = s_re * sin_p + s_im * cos_p
+        e_re, e_im = entities[:, :half], entities[:, half:]
+        # negative L1 distance to every candidate: (Q, 1, half) vs (1, N, half)
+        q = rot_re.shape[0]
+        n = entities.shape[0]
+        diff_re = rot_re.reshape(q, 1, half) - e_re.reshape(1, n, half)
+        diff_im = rot_im.reshape(q, 1, half) - e_im.reshape(1, n, half)
+        return -(diff_re.abs().sum(axis=-1) + diff_im.abs().sum(axis=-1))

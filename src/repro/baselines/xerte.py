@@ -1,0 +1,94 @@
+"""xERTE-style baseline (Han et al., ICLR 2021) — attentive propagation.
+
+xERTE answers a query by expanding a small subgraph around the query
+subject and propagating attention along edges whose relations look
+relevant to the query relation; candidates are ranked by the attention
+mass they accumulate.  This compact variant keeps that mechanism in a
+fully vectorized two-hop form:
+
+1. start with unit mass on each query's subject;
+2. for each hop, push mass along every recent-history edge, scaled by a
+   learned query-conditional relevance ``sigma(r_edge W r_query)``;
+3. score candidates as a learned mixture of 1-hop and 2-hop mass plus a
+   small embedding-similarity term (so entities outside the expanded
+   subgraph are still ranked).
+
+The attention mass over edges is exactly the quantity xERTE uses for its
+explanations; :meth:`edge_relevance` exposes it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..nn import Parameter, Tensor
+from ..nn import init as weight_init
+from ..nn.ops import index_select, segment_sum
+from .base import EmbeddingBaseline
+
+
+class XERTE(EmbeddingBaseline):
+    """Two-hop attentive propagation over the recent history graph."""
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int,
+                 seed: int = 0):
+        super().__init__(num_entities, num_relations, dim, seed)
+        rng = self._extra_rngs[0]
+        self.relevance = Parameter(weight_init.xavier_uniform((dim, dim), rng))
+        # learned mixture over (1-hop mass, 2-hop mass, embedding prior)
+        self.mixture = Parameter(np.array([1.0, 0.5, 0.1], dtype=np.float32))
+
+    def _window_edges(self, batch) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All edges of the local window, concatenated."""
+        srcs, rels, dsts = [], [], []
+        for snapshot in batch.snapshots:
+            srcs.append(snapshot.src)
+            rels.append(snapshot.rel)
+            dsts.append(snapshot.dst)
+        if not srcs:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        return (np.concatenate(srcs), np.concatenate(rels),
+                np.concatenate(dsts))
+
+    def edge_relevance(self, rel: np.ndarray,
+                       query_relations: np.ndarray) -> Tensor:
+        """(E, Q) per-edge relevance to each query relation."""
+        rel_table = self.relation_embedding.all()
+        edge_emb = index_select(rel_table, rel)            # (E, d)
+        query_emb = index_select(rel_table, query_relations)  # (Q, d)
+        return ((edge_emb @ self.relevance) @ query_emb.T).sigmoid()
+
+    def _propagate(self, mass: Tensor, src: np.ndarray, dst: np.ndarray,
+                   relevance: Tensor) -> Tensor:
+        """One attentive hop: (N, Q) mass -> (N, Q) mass."""
+        from_src = index_select(mass, src)                 # (E, Q)
+        pushed = from_src * relevance
+        return segment_sum(pushed, dst, self.num_entities)
+
+    def score_batch(self, batch) -> Tensor:
+        entities = self.entities()
+        num_queries = len(batch)
+        src, rel, dst = self._window_edges(batch)
+
+        seed = np.zeros((self.num_entities, num_queries), dtype=np.float32)
+        seed[batch.subjects, np.arange(num_queries)] = 1.0
+        mass0 = Tensor(seed)
+
+        subj = index_select(entities, batch.subjects)
+        rel_emb = index_select(self.relation_embedding.all(), batch.relations)
+        prior = ((subj + rel_emb) @ entities.T)            # (Q, N)
+
+        if len(src) == 0:
+            return prior * self.mixture[2]
+
+        relevance = self.edge_relevance(rel, batch.relations)  # (E, Q)
+        hop1 = self._propagate(mass0, src, dst, relevance)     # (N, Q)
+        hop2 = self._propagate(hop1, src, dst, relevance)
+        # normalize hops so the mixture weights are scale-meaningful
+        hop1 = hop1 * (1.0 / max(len(batch.snapshots), 1))
+        hop2 = hop2 * (1.0 / max(len(batch.snapshots), 1) ** 2)
+        return (hop1.T * self.mixture[0] + hop2.T * self.mixture[1]
+                + prior * self.mixture[2])

@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``train``      train any registered model on a preset or dataset directory
+``evaluate``   evaluate a checkpoint under a chosen filter setting
+``noise``      run a Gaussian-noise sweep on a checkpoint (Fig. 2/5)
+``online``     online-learning evaluation of a checkpoint (Fig. 10)
+``stats``      print Table II-style statistics for datasets
+``generate``   write a synthetic preset to disk in the RE-GCN format
+``list``       list registered models and dataset presets
+
+Every command prints a compact, script-friendly report to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .analysis import (compute_statistics, format_pattern_table,
+                       format_statistics_table, per_pattern_metrics)
+from .datasets import load_preset, preset_names
+from .eval import evaluate, format_metric_row
+from .registry import build_model, model_names
+from .robustness import noise_sweep
+from .tkg import load_benchmark_directory, save_benchmark_directory
+from .training import (OnlineConfig, TrainConfig, Trainer, evaluate_online,
+                       load_checkpoint, save_checkpoint)
+
+
+def _load_dataset(spec: str):
+    """A dataset spec is either a preset name or a directory path."""
+    if spec in preset_names():
+        return load_preset(spec)
+    return load_benchmark_directory(spec)
+
+
+def _add_common_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", required=True, choices=model_names())
+    parser.add_argument("--dataset", required=True,
+                        help="preset name or dataset directory")
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--window", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset)
+    model = build_model(args.model, dataset, dim=args.dim, seed=args.seed)
+    trainer = Trainer(TrainConfig(epochs=args.epochs, lr=args.lr,
+                                  window=args.window,
+                                  eval_every=args.eval_every,
+                                  patience=args.patience,
+                                  verbose=not args.quiet))
+    result = trainer.fit(model, dataset)
+    metrics = trainer.test(model, dataset)
+    print(format_metric_row(args.model, metrics))
+    if args.out:
+        save_checkpoint(model, args.out, metadata={
+            "model": args.model, "dataset": args.dataset, "dim": args.dim,
+            "seed": args.seed, "window": args.window,
+            "best_valid_mrr": result.best_valid_mrr})
+        print(f"checkpoint written to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset)
+    model = build_model(args.model, dataset, dim=args.dim, seed=args.seed)
+    load_checkpoint(model, args.checkpoint)
+    records: Optional[list] = [] if args.per_pattern else None
+    metrics = evaluate(model, dataset, args.split, window=args.window,
+                       filter_setting=args.filter, records=records)
+    print(format_metric_row(args.model, metrics))
+    if args.per_pattern:
+        if dataset.provenance is None:
+            print("(dataset has no provenance labels; skipping breakdown)")
+        else:
+            for line in format_pattern_table(
+                    per_pattern_metrics(records, dataset)):
+                print(line)
+    return 0
+
+
+def _cmd_noise(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset)
+    model = build_model(args.model, dataset, dim=args.dim, seed=args.seed)
+    load_checkpoint(model, args.checkpoint)
+    result = noise_sweep(model, dataset, sigmas=tuple(args.sigmas),
+                         window=args.window, model_name=args.model)
+    print(f"{'sigma':>8s}{'MRR':>8s}{'H@1':>8s}{'H@10':>8s}")
+    for point in result.points:
+        print(f"{point.sigma:8.2f}{point.mrr:8.2f}{point.hits1:8.2f}"
+              f"{point.hits10:8.2f}")
+    print(f"relative MRR drop at sigma={args.sigmas[-1]}: "
+          f"{result.degradation_percent(args.sigmas[-1]):.1f}%")
+    return 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset)
+    model = build_model(args.model, dataset, dim=args.dim, seed=args.seed)
+    load_checkpoint(model, args.checkpoint)
+    offline = evaluate(model, dataset, "test", window=args.window)
+    online = evaluate_online(model, dataset,
+                             OnlineConfig(window=args.window, lr=args.lr))
+    print(format_metric_row(f"{args.model} (offline)", offline))
+    print(format_metric_row(f"{args.model} (online)", online))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    rows = [compute_statistics(_load_dataset(spec)) for spec in args.datasets]
+    for line in format_statistics_table(rows):
+        print(line)
+    if args.json:
+        print(json.dumps({r.name: r.as_dict() for r in rows}, indent=2))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = load_preset(args.preset, seed=args.seed)
+    save_benchmark_directory(dataset, args.out)
+    print(f"wrote {dataset.name} ({len(dataset.train)}/{len(dataset.valid)}"
+          f"/{len(dataset.test)} facts) to {args.out}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("models:   " + ", ".join(model_names()))
+    print("datasets: " + ", ".join(preset_names()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_train = sub.add_parser("train", help="train a model")
+    _add_common_model_args(p_train)
+    p_train.add_argument("--epochs", type=int, default=20)
+    p_train.add_argument("--lr", type=float, default=2e-3)
+    p_train.add_argument("--eval-every", type=int, default=4)
+    p_train.add_argument("--patience", type=int, default=4)
+    p_train.add_argument("--out", help="checkpoint output path (.npz)")
+    p_train.add_argument("--quiet", action="store_true")
+    p_train.set_defaults(func=_cmd_train)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate a checkpoint")
+    _add_common_model_args(p_eval)
+    p_eval.add_argument("--checkpoint", required=True)
+    p_eval.add_argument("--split", default="test",
+                        choices=("train", "valid", "test"))
+    p_eval.add_argument("--filter", default="time-aware",
+                        choices=("time-aware", "raw", "static"))
+    p_eval.add_argument("--per-pattern", action="store_true",
+                        help="break metrics down by generative pattern")
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_noise = sub.add_parser("noise", help="Gaussian-noise sweep")
+    _add_common_model_args(p_noise)
+    p_noise.add_argument("--checkpoint", required=True)
+    p_noise.add_argument("--sigmas", type=float, nargs="+",
+                         default=[0.0, 0.5, 1.0, 2.0])
+    p_noise.set_defaults(func=_cmd_noise)
+
+    p_online = sub.add_parser("online", help="online-learning evaluation")
+    _add_common_model_args(p_online)
+    p_online.add_argument("--checkpoint", required=True)
+    p_online.add_argument("--lr", type=float, default=1e-3)
+    p_online.set_defaults(func=_cmd_online)
+
+    p_stats = sub.add_parser("stats", help="dataset statistics")
+    p_stats.add_argument("datasets", nargs="+",
+                         help="preset names or directories")
+    p_stats.add_argument("--json", action="store_true")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_gen = sub.add_parser("generate", help="write a preset to disk")
+    p_gen.add_argument("--preset", required=True, choices=preset_names())
+    p_gen.add_argument("--seed", type=int, default=None)
+    p_gen.add_argument("--out", required=True)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_list = sub.add_parser("list", help="list models and datasets")
+    p_list.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""``repro.core`` — the LogCL model (the paper's primary contribution)."""
+
+from .attention import (GlobalEntityAwareAttention, LocalEntityAwareAttention,
+                        QueryKeyBuilder)
+from .contrast import VALID_STRATEGIES, QueryContrastModule
+from .decoder import ConvTransE
+from .global_encoder import GlobalEncoding, GlobalHistoryEncoder
+from .local_encoder import LocalEncoding, LocalRecurrentEncoder
+from .model import LogCL, LogCLConfig
+from .subgraph import GlobalHistoryIndex
+from .time_encoding import TimeEncoding
+
+__all__ = [
+    "LogCL", "LogCLConfig",
+    "LocalRecurrentEncoder", "LocalEncoding",
+    "GlobalHistoryEncoder", "GlobalEncoding",
+    "QueryContrastModule", "VALID_STRATEGIES",
+    "ConvTransE", "TimeEncoding", "GlobalHistoryIndex",
+    "QueryKeyBuilder", "LocalEntityAwareAttention",
+    "GlobalEntityAwareAttention",
+]

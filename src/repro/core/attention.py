@@ -1,0 +1,101 @@
+"""Entity-aware attention (paper Eq. 9-11 and Eq. 13-14).
+
+The local variant scores each snapshot aggregate against a query-aware
+entity key and softmax-normalizes *across snapshots*, so snapshots that
+carry facts relevant to the query dominate the final representation (the
+paper's Fig. 1 motivation).  The global variant gates the subgraph
+aggregate per entity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..nn import Module, Parameter, Tensor
+from ..nn import init as weight_init
+from ..nn.ops import concat, segment_mean, softmax, stack
+
+
+class QueryKeyBuilder(Module):
+    """Builds the query-aware entity key ``h^{e_q}_{t_q}`` (Eq. 9).
+
+    For every entity the mean of the relation embeddings it queries with
+    at ``t_q`` is concatenated with its base embedding and projected:
+    ``W_4 [f_ave(r_{t_q}) || h]``.  Entities that are not query subjects
+    at ``t_q`` get a zero relation context.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.dim = dim
+        self.w4 = Parameter(weight_init.xavier_uniform((2 * dim, dim), rng))
+
+    def forward(self, base_entities: Tensor, relations: Tensor,
+                query_subjects: np.ndarray,
+                query_relations: np.ndarray) -> Tensor:
+        num_entities = base_entities.shape[0]
+        from ..nn.ops import index_select
+        if len(query_subjects) > 0:
+            rel_rows = index_select(relations, query_relations)   # (Q, d)
+            rel_context = segment_mean(rel_rows, query_subjects, num_entities)
+        else:
+            rel_context = Tensor(np.zeros((num_entities, self.dim),
+                                          dtype=base_entities.data.dtype))
+        return concat([rel_context, base_entities], axis=-1) @ self.w4
+
+
+class LocalEntityAwareAttention(Module):
+    """Snapshot-level attention over the local window (Eq. 10-11).
+
+    Scores each snapshot's aggregated entity matrix against the query key,
+    softmax-normalizes per entity across the window, and adds the weighted
+    sum to the final evolved representation.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator,
+                 score: str = "additive"):
+        super().__init__()
+        if score not in ("additive", "dot"):
+            raise ValueError("score must be 'additive' or 'dot'")
+        self.score = score
+        self.dim = dim
+        self.w5 = Parameter(weight_init.xavier_uniform((dim, 1), rng))
+
+    def _score(self, agg: Tensor, query_key: Tensor) -> Tensor:
+        if self.score == "dot":
+            # entity-specific relevance: each entity's own key direction
+            scale = 1.0 / float(np.sqrt(self.dim))
+            return (agg * query_key).sum(axis=-1, keepdims=True) * scale
+        return (agg + query_key) @ self.w5  # paper Eq. 10
+
+    def forward(self, evolved: Tensor, snapshot_aggs: Sequence[Tensor],
+                query_key: Tensor) -> Tensor:
+        if not snapshot_aggs:
+            return evolved
+        scores = [self._score(agg, query_key) for agg in snapshot_aggs]
+        score_mat = concat(scores, axis=-1)                 # (N, m)
+        alpha = softmax(score_mat, axis=-1)                  # (N, m)
+        stacked = stack(list(snapshot_aggs), axis=1)         # (N, m, d)
+        weighted = stacked * alpha.reshape(alpha.shape[0], alpha.shape[1], 1)
+        return evolved + weighted.sum(axis=1)
+
+
+class GlobalEntityAwareAttention(Module):
+    """Per-entity gate on the global subgraph aggregate (Eq. 13-14).
+
+    With a single global graph there is nothing to softmax across, so the
+    score acts as a sigmoid gate: ``beta = sigma(W_6 (h_g + h))`` and
+    ``h_g' = beta * h_g``.  (The paper writes sigma_2 for both this and the
+    snapshot softmax; the gate reading is the one that type-checks for a
+    single aggregate.)
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.w6 = Parameter(weight_init.xavier_uniform((dim, 1), rng))
+
+    def forward(self, global_agg: Tensor, query_key: Tensor) -> Tensor:
+        beta = ((global_agg + query_key) @ self.w6).sigmoid()  # (N, 1)
+        return global_agg * beta

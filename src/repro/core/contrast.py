@@ -1,0 +1,84 @@
+"""Local-global query contrast module (paper §III-E).
+
+Each query gets two views: a *local* embedding built from the most recent
+snapshot aggregate and the evolved relation (Eq. 15) and a *global*
+embedding built from the subgraph aggregate and the base relation
+(Eq. 16).  Four InfoNCE losses (Eq. 17) tie the views together:
+
+* ``lg`` — local anchors vs. global candidates,
+* ``gl`` — global anchors vs. local candidates,
+* ``ll`` — local vs. local (uniformity within the local view),
+* ``gg`` — global vs. global.
+
+The final contrast loss averages the enabled terms.  Positives are the
+two views of the same query; every other query in the timestamp's batch
+acts as a negative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import MLP, Module, Tensor
+from ..nn.functional import info_nce
+from ..nn.ops import concat, index_select, l2_normalize
+
+VALID_STRATEGIES = ("lg", "gl", "ll", "gg")
+
+
+class QueryContrastModule(Module):
+    """Projection heads + multi-strategy InfoNCE for query views."""
+
+    def __init__(self, dim: int, rng: np.random.Generator,
+                 temperature: float = 0.07,
+                 strategies: Sequence[str] = VALID_STRATEGIES,
+                 projection_dim: int = 0):
+        super().__init__()
+        unknown = set(strategies) - set(VALID_STRATEGIES)
+        if unknown:
+            raise ValueError(f"unknown contrast strategies {sorted(unknown)}; "
+                             f"valid: {VALID_STRATEGIES}")
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+        self.strategies = tuple(strategies)
+        proj = projection_dim or dim
+        self.local_head = MLP([2 * dim, dim, proj], rng)
+        self.global_head = MLP([2 * dim, dim, proj], rng)
+
+    # ------------------------------------------------------------------
+    def project_local(self, entity_agg: Tensor, relations: Tensor,
+                      query_subjects: np.ndarray,
+                      query_relations: np.ndarray) -> Tensor:
+        """z_t (Eq. 15): unit-sphere embedding of each local query view."""
+        features = concat([index_select(entity_agg, query_subjects),
+                           index_select(relations, query_relations)], axis=-1)
+        return l2_normalize(self.local_head(features))
+
+    def project_global(self, entity_agg: Tensor, relations0: Tensor,
+                       query_subjects: np.ndarray,
+                       query_relations: np.ndarray) -> Tensor:
+        """z_g (Eq. 16): unit-sphere embedding of each global query view."""
+        features = concat([index_select(entity_agg, query_subjects),
+                           index_select(relations0, query_relations)], axis=-1)
+        return l2_normalize(self.global_head(features))
+
+    def forward(self, z_local: Tensor, z_global: Tensor) -> Tensor:
+        """Average of the enabled InfoNCE strategies (Eq. 17)."""
+        if z_local.shape[0] < 2:
+            # A single query has no negatives; contrast is undefined.
+            return Tensor(np.zeros((), dtype=z_local.data.dtype))
+        pairs = {
+            "lg": (z_local, z_global),
+            "gl": (z_global, z_local),
+            "ll": (z_local, z_local),
+            "gg": (z_global, z_global),
+        }
+        total = None
+        for name in self.strategies:
+            anchor, candidates = pairs[name]
+            loss = info_nce(anchor, candidates, self.temperature)
+            total = loss if total is None else total + loss
+        return total * (1.0 / len(self.strategies))

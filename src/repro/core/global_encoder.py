@@ -1,0 +1,58 @@
+"""Global entity-aware attention encoder (paper §III-D).
+
+Runs an R-GCN over the *static* historical query subgraph produced by
+:class:`repro.core.subgraph.GlobalHistoryIndex` (Eq. 12), then applies the
+global entity-aware attention gate (Eq. 13-14).  Inputs are the randomly
+initialized base embeddings — the subgraph carries no temporal
+information by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Module, Tensor
+from .attention import GlobalEntityAwareAttention, QueryKeyBuilder
+
+
+@dataclass
+class GlobalEncoding:
+    """Output bundle of the global encoder for one query timestamp."""
+
+    entities: Tensor          # (N, d) attended global representation
+    raw_aggregate: Tensor     # (N, d) pre-attention R-GCN output
+
+
+class GlobalHistoryEncoder(Module):
+    """Static-subgraph R-GCN plus the global attention gate."""
+
+    def __init__(self, dim: int, aggregator: Module,
+                 rng: np.random.Generator,
+                 use_entity_attention: bool = True):
+        super().__init__()
+        self.dim = dim
+        self.aggregator = aggregator
+        self.query_key = QueryKeyBuilder(dim, rng)
+        self.attention = (GlobalEntityAwareAttention(dim, rng)
+                          if use_entity_attention else None)
+
+    def forward(self, entities0: Tensor, relations0: Tensor,
+                src: np.ndarray, rel: np.ndarray, dst: np.ndarray,
+                query_subjects: np.ndarray,
+                query_relations: np.ndarray) -> GlobalEncoding:
+        if len(src) > 0:
+            agg = self.aggregator(entities0, relations0, src, rel, dst)
+        else:
+            # No history yet (first timestamps): fall back to the base
+            # embeddings so downstream fusion stays well-defined.
+            agg = entities0
+        if self.attention is not None:
+            key = self.query_key(entities0, relations0, query_subjects,
+                                 query_relations)
+            attended = self.attention(agg, key)                 # Eq. 13-14
+        else:
+            attended = agg
+        return GlobalEncoding(entities=attended, raw_aggregate=agg)

@@ -1,0 +1,51 @@
+"""Static side-graph information (paper §IV-B2).
+
+The paper follows RE-GCN/TiRGN/RETIA in attaching *static* knowledge
+(entity attributes such as country membership or sector) on the ICEWS
+datasets.  A single R-GCN pass over the static triples refines the base
+entity embeddings before any temporal encoding, so entities sharing
+static attributes start from correlated representations.
+
+The synthetic presets expose community membership as the static graph
+(``TKGDataset.static_facts``: rows of ``(entity, static_relation,
+attribute_entity)``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.rgcn import RGCNLayer
+from ..nn import Embedding, Module, Tensor
+from ..nn.ops import l2_normalize
+
+
+class StaticGraphEncoder(Module):
+    """One R-GCN round over the static triples, blended residually.
+
+    ``h' = normalize(h + RGCN_static(h))`` — the residual form keeps the
+    encoder a refinement rather than a replacement, so models degrade
+    gracefully when the static graph is uninformative.
+    """
+
+    def __init__(self, dim: int, static_facts: np.ndarray,
+                 rng: np.random.Generator, dropout_rate: float = 0.0):
+        super().__init__()
+        facts = np.asarray(static_facts, dtype=np.int64)
+        if facts.ndim != 2 or facts.shape[1] != 3:
+            raise ValueError(f"static facts must be (n, 3), got {facts.shape}")
+        self.src = facts[:, 0].copy()
+        self.rel = facts[:, 1].copy()
+        self.dst = facts[:, 2].copy()
+        num_static_relations = int(facts[:, 1].max()) + 1 if len(facts) else 1
+        self.static_relations = Embedding(num_static_relations, dim, rng)
+        self.layer = RGCNLayer(dim, rng, dropout_rate=dropout_rate)
+
+    def forward(self, entities: Tensor) -> Tensor:
+        if len(self.src) == 0:
+            return entities
+        refined = self.layer(entities, self.static_relations.all(),
+                             self.src, self.rel, self.dst)
+        return l2_normalize(entities + refined)

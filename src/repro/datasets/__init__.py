@@ -1,0 +1,18 @@
+"""``repro.datasets`` — synthetic benchmark generation.
+
+Offline stand-ins for the ICEWS14/18/05-15 and GDELT benchmarks with the
+same chronological-split protocol and controllable proportions of the
+repetition / cyclic / evolution patterns the paper studies.
+"""
+
+from .perturbations import corrupt_facts, drop_facts, shuffle_times
+from .synthetic import SyntheticConfig, generate
+from .presets import (PRESETS, gdelt_like, icews0515_like, icews14_like,
+                      icews18_like, load_preset, preset_names, tiny)
+
+__all__ = [
+    "SyntheticConfig", "generate",
+    "drop_facts", "corrupt_facts", "shuffle_times",
+    "PRESETS", "load_preset", "preset_names",
+    "icews14_like", "icews18_like", "icews0515_like", "gdelt_like", "tiny",
+]

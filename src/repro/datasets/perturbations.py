@@ -1,0 +1,76 @@
+"""Dataset-level perturbations for robustness studies.
+
+The paper's Fig. 2/5 protocol perturbs *embeddings*; these utilities
+perturb the *data* instead, enabling complementary robustness studies:
+
+* :func:`drop_facts` — random fact deletion (missing-data robustness);
+* :func:`corrupt_facts` — replace objects of a fraction of training
+  facts with random entities (label-noise robustness);
+* :func:`shuffle_times` — permute timestamps within a window
+  (timestamp-noise robustness, e.g. ingestion jitter in event pipelines).
+
+All perturbations touch the training split only — evaluation stays on
+clean data, so metric changes measure robustness of *learning*, not of
+the test set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tkg.dataset import TKGDataset
+from ..tkg.quadruples import QuadrupleSet
+
+
+def _rebuild(dataset: TKGDataset, new_train: QuadrupleSet,
+             suffix: str) -> TKGDataset:
+    return TKGDataset(
+        name=f"{dataset.name}-{suffix}",
+        train=new_train, valid=dataset.valid, test=dataset.test,
+        num_entities=dataset.num_entities,
+        num_relations=dataset.num_relations,
+        entity_vocab=dataset.entity_vocab,
+        relation_vocab=dataset.relation_vocab,
+        static_facts=dataset.static_facts,
+        provenance=dataset.provenance,
+        time_granularity=dataset.time_granularity)
+
+
+def drop_facts(dataset: TKGDataset, fraction: float,
+               rng: np.random.Generator) -> TKGDataset:
+    """Remove a random ``fraction`` of training facts."""
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    arr = dataset.train.array
+    keep = rng.random(len(arr)) >= fraction
+    if not keep.any():
+        raise ValueError("perturbation would remove every training fact")
+    return _rebuild(dataset, QuadrupleSet(arr[keep]), "dropped")
+
+
+def corrupt_facts(dataset: TKGDataset, fraction: float,
+                  rng: np.random.Generator) -> TKGDataset:
+    """Replace the object of a random ``fraction`` of training facts."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    arr = dataset.train.array.copy()
+    hit = rng.random(len(arr)) < fraction
+    arr[hit, 2] = rng.integers(0, dataset.num_entities, size=int(hit.sum()))
+    return _rebuild(dataset, QuadrupleSet(arr), "corrupted")
+
+
+def shuffle_times(dataset: TKGDataset, window: int,
+                  rng: np.random.Generator) -> TKGDataset:
+    """Jitter each training fact's timestamp within ``±window`` steps.
+
+    Timestamps are clamped to the training period so the chronological
+    train/valid/test split stays valid.
+    """
+    if window < 0:
+        raise ValueError("window must be non-negative")
+    arr = dataset.train.array.copy()
+    t_min = int(arr[:, 3].min())
+    t_max = int(arr[:, 3].max())
+    jitter = rng.integers(-window, window + 1, size=len(arr))
+    arr[:, 3] = np.clip(arr[:, 3] + jitter, t_min, t_max)
+    return _rebuild(dataset, QuadrupleSet(arr), "jittered")

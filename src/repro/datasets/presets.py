@@ -1,0 +1,130 @@
+"""Dataset presets mirroring the paper's four benchmarks (Table II).
+
+Each preset scales the corresponding real benchmark down (~30x fewer
+entities, ~5x fewer snapshots) so pure-numpy training completes on a
+laptop, while preserving the *relative* characteristics the paper calls
+out:
+
+* ICEWS14-like  — the easiest: moderate size, strong local repetition.
+* ICEWS18-like  — "more complex dynamic interactions": more entities,
+  more contested alternatives, more noise (models score lower, as in
+  Table III).
+* ICEWS05-15-like — long horizon: many timestamps, long periods, so the
+  global encoder matters more.
+* GDELT-like    — noisiest: highest noise share and fastest switching,
+  lowest scores across the board.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..tkg.dataset import TKGDataset
+from .synthetic import SyntheticConfig, generate
+
+
+def icews14_like(seed: int = 0) -> TKGDataset:
+    """Small, repetition-heavy preset (ICEWS14 analogue)."""
+    return generate(SyntheticConfig(
+        name="icews14_like",
+        num_entities=180, num_relations=24, num_timestamps=80,
+        num_communities=8,
+        markov_tracks=30, markov_alternatives=4,
+        markov_fire_probability=0.6, markov_switch_probability=0.12,
+        drift_tracks=34, drift_alternatives=6, drift_fire_probability=0.6,
+        transfer_tracks=34, transfer_lag=2, transfer_gap=6,
+        periodic_tracks=14, periodic_alternatives=3, periods=(6, 9, 12),
+        sparse_tracks=12, sparse_gap=15, sparse_gap_jitter=3,
+        storylines_per_step=4, storyline_length=5,
+        noise_per_step=7,
+        seed=seed))
+
+
+def icews18_like(seed: int = 1) -> TKGDataset:
+    """Larger, more contested, noisier preset (ICEWS18 analogue)."""
+    return generate(SyntheticConfig(
+        name="icews18_like",
+        num_entities=260, num_relations=28, num_timestamps=80,
+        num_communities=10,
+        markov_tracks=32, markov_alternatives=5,
+        markov_fire_probability=0.55, markov_switch_probability=0.15,
+        drift_tracks=36, drift_alternatives=7, drift_fire_probability=0.55,
+        transfer_tracks=36, transfer_lag=2, transfer_gap=6,
+        periodic_tracks=14, periodic_alternatives=3, periods=(6, 9, 13),
+        sparse_tracks=13, sparse_gap=16, sparse_gap_jitter=4,
+        storylines_per_step=5, storyline_length=5,
+        noise_per_step=16,
+        seed=seed))
+
+
+def icews0515_like(seed: int = 2) -> TKGDataset:
+    """Long-horizon preset (ICEWS05-15 analogue)."""
+    return generate(SyntheticConfig(
+        name="icews0515_like",
+        num_entities=320, num_relations=26, num_timestamps=150,
+        num_communities=10,
+        markov_tracks=34, markov_alternatives=4,
+        markov_fire_probability=0.6, markov_switch_probability=0.10,
+        drift_tracks=40, drift_alternatives=6, drift_fire_probability=0.6,
+        transfer_tracks=40, transfer_lag=2, transfer_gap=7,
+        periodic_tracks=18, periodic_alternatives=3, periods=(8, 12, 18),
+        sparse_tracks=16, sparse_gap=20, sparse_gap_jitter=4,
+        storylines_per_step=4, storyline_length=6,
+        noise_per_step=9,
+        seed=seed))
+
+
+def gdelt_like(seed: int = 3) -> TKGDataset:
+    """High-volume, high-noise preset (GDELT analogue)."""
+    return generate(SyntheticConfig(
+        name="gdelt_like",
+        num_entities=220, num_relations=20, num_timestamps=110,
+        num_communities=8,
+        markov_tracks=28, markov_alternatives=5,
+        markov_fire_probability=0.5, markov_switch_probability=0.2,
+        drift_tracks=26, drift_alternatives=6, drift_fire_probability=0.5,
+        transfer_tracks=26, transfer_lag=1, transfer_gap=5,
+        periodic_tracks=10, periodic_alternatives=3, periods=(5, 8, 11),
+        sparse_tracks=10, sparse_gap=14, sparse_gap_jitter=5,
+        storylines_per_step=4, storyline_length=4,
+        noise_per_step=30,
+        seed=seed))
+
+
+def tiny(seed: int = 7) -> TKGDataset:
+    """Minutes-scale preset for tests and the quickstart example."""
+    return generate(SyntheticConfig(
+        name="tiny",
+        num_entities=60, num_relations=10, num_timestamps=40,
+        num_communities=4,
+        markov_tracks=12, markov_alternatives=3,
+        markov_fire_probability=0.6, markov_switch_probability=0.12,
+        drift_tracks=12, drift_alternatives=4, drift_fire_probability=0.6,
+        transfer_tracks=8, transfer_lag=1, transfer_gap=5,
+        periodic_tracks=6, periodic_alternatives=2, periods=(5, 7),
+        sparse_tracks=8, sparse_gap=10, sparse_gap_jitter=2,
+        storylines_per_step=2, storyline_length=4,
+        noise_per_step=3,
+        seed=seed))
+
+
+PRESETS: Dict[str, Callable[..., TKGDataset]] = {
+    "icews14_like": icews14_like,
+    "icews18_like": icews18_like,
+    "icews0515_like": icews0515_like,
+    "gdelt_like": gdelt_like,
+    "tiny": tiny,
+}
+
+
+def load_preset(name: str, seed: Optional[int] = None) -> TKGDataset:
+    """Instantiate a preset by name; unknown names raise with suggestions."""
+    if name not in PRESETS:
+        raise KeyError(f"unknown preset {name!r}; available: {sorted(PRESETS)}")
+    if seed is None:
+        return PRESETS[name]()
+    return PRESETS[name](seed=seed)
+
+
+def preset_names() -> List[str]:
+    return sorted(PRESETS)

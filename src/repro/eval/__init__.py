@@ -1,0 +1,9 @@
+"""``repro.eval`` — MRR / Hits@k and the time-aware filtered protocol."""
+
+from .heuristics import FrequencyHeuristic, RecencyHeuristic
+from .metrics import RankingAccumulator, rank_of_target
+from .protocol import FILTER_SETTINGS, evaluate, format_metric_row
+
+__all__ = ["RankingAccumulator", "rank_of_target",
+           "evaluate", "format_metric_row", "FILTER_SETTINGS",
+           "FrequencyHeuristic", "RecencyHeuristic"]

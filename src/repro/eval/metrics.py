@@ -1,0 +1,67 @@
+"""Ranking metrics: MRR and Hits@k (paper §IV-B1).
+
+Ranks are 1-based with *mean* tie-breaking: a target tied with ``k``
+other candidates gets the average of the tied positions.  This matches
+the expectation of the random tie-breaking used by sort-based PyTorch
+evaluation code and — unlike the optimistic convention — does not reward
+degenerate constant scorers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+def rank_of_target(scores: np.ndarray, target: int) -> float:
+    """1-based mean-tie rank of ``target`` within ``scores``."""
+    target_score = scores[target]
+    greater = int((scores > target_score).sum())
+    ties = int((scores == target_score).sum())  # includes the target itself
+    return greater + (ties + 1) / 2.0
+
+
+@dataclass
+class RankingAccumulator:
+    """Streaming collector of per-query ranks."""
+
+    ranks: List[float] = field(default_factory=list)
+
+    def add(self, rank: float) -> None:
+        if rank < 1:
+            raise ValueError(f"ranks are 1-based, got {rank}")
+        self.ranks.append(float(rank))
+
+    def add_batch(self, scores: np.ndarray, targets: Sequence[int]) -> None:
+        """Rank a (Q, |E|) score matrix against per-row targets."""
+        for row, target in zip(scores, targets):
+            self.add(rank_of_target(row, int(target)))
+
+    def merge(self, other: "RankingAccumulator") -> None:
+        self.ranks.extend(other.ranks)
+
+    # -- metrics ----------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self.ranks)
+
+    def mrr(self) -> float:
+        """Mean reciprocal rank, in percent (paper convention)."""
+        if not self.ranks:
+            return 0.0
+        return float(np.mean(1.0 / np.asarray(self.ranks))) * 100.0
+
+    def hits_at(self, k: int) -> float:
+        """Fraction of queries ranked in the top-k, in percent."""
+        if not self.ranks:
+            return 0.0
+        return float(np.mean(np.asarray(self.ranks) <= k)) * 100.0
+
+    def summary(self, ks: Iterable[int] = (1, 3, 10)) -> Dict[str, float]:
+        """The paper's standard metric row."""
+        result = {"mrr": self.mrr(), "count": float(self.count)}
+        for k in ks:
+            result[f"hits@{k}"] = self.hits_at(k)
+        return result

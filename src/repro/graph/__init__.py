@@ -1,0 +1,42 @@
+"""``repro.graph`` — relational graph neural network aggregators.
+
+Three interchangeable encoders back the paper's Table V study: the default
+R-GCN (Eq. 4/12), CompGCN with ``sub``/``mult`` composition, and the
+attention-based KBGAT.  :func:`build_aggregator` constructs one by name.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module
+from .base import RelationalGraphLayer, in_degree_norm
+from .compgcn import CompGCN, CompGCNLayer
+from .kbgat import KBGAT, KBGATLayer
+from .rgcn import RGCN, RGCNLayer
+
+AGGREGATORS = ("rgcn", "compgcn-sub", "compgcn-mult", "kbgat")
+
+
+def build_aggregator(kind: str, dim: int, num_layers: int,
+                     rng: np.random.Generator,
+                     dropout_rate: float = 0.2) -> Module:
+    """Construct a graph aggregator by name (see :data:`AGGREGATORS`)."""
+    if kind == "rgcn":
+        return RGCN(dim, num_layers, rng, dropout_rate)
+    if kind == "compgcn-sub":
+        return CompGCN(dim, num_layers, rng, "sub", dropout_rate)
+    if kind == "compgcn-mult":
+        return CompGCN(dim, num_layers, rng, "mult", dropout_rate)
+    if kind == "kbgat":
+        return KBGAT(dim, num_layers, rng, dropout_rate)
+    raise ValueError(f"unknown aggregator {kind!r}; choose from {AGGREGATORS}")
+
+
+__all__ = [
+    "AGGREGATORS", "build_aggregator", "in_degree_norm",
+    "RelationalGraphLayer",
+    "RGCN", "RGCNLayer",
+    "CompGCN", "CompGCNLayer",
+    "KBGAT", "KBGATLayer",
+]

@@ -1,0 +1,48 @@
+"""Shared interfaces and helpers for relational graph layers.
+
+All layers operate on *edge arrays* — aligned int vectors ``src``,
+``rel``, ``dst`` — and full node/relation embedding matrices, mirroring
+the way DGL kernels consume a graph.  Aggregation is in-degree-normalized
+sum (the paper's ``1/c_o`` in Eq. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Module, Tensor
+from ..nn.ops import index_select, segment_sum
+
+
+def in_degree_norm(dst: np.ndarray, num_nodes: int,
+                   dtype=np.float32) -> np.ndarray:
+    """Per-destination 1/in-degree normalizer (1 for isolated nodes)."""
+    degree = np.bincount(dst, minlength=num_nodes).astype(dtype)
+    return 1.0 / np.maximum(degree, 1.0)
+
+
+class RelationalGraphLayer(Module):
+    """Base class: one round of relation-aware message passing.
+
+    Subclasses implement :meth:`forward(h, r, src, rel, dst)` returning
+    updated node embeddings of the same shape as ``h``.
+    """
+
+    def forward(self, h: Tensor, r: Tensor, src: np.ndarray,
+                rel: np.ndarray, dst: np.ndarray) -> Tensor:  # pragma: no cover
+        raise NotImplementedError
+
+    @staticmethod
+    def aggregate_mean(messages: Tensor, dst: np.ndarray,
+                       num_nodes: int) -> Tensor:
+        """In-degree-normalized sum of ``messages`` onto destinations."""
+        summed = segment_sum(messages, dst, num_nodes)
+        norm = in_degree_norm(dst, num_nodes, dtype=messages.data.dtype)
+        return summed * Tensor(norm[:, None])
+
+
+def gather(h: Tensor, index: np.ndarray) -> Tensor:
+    """Row-gather shorthand used across the layers."""
+    return index_select(h, index)

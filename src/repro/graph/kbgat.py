@@ -1,0 +1,63 @@
+"""KBGAT-style attention aggregator (Nathani et al., ACL 2019) — Table V.
+
+Each edge (s, r, o) produces a message from the concatenated triple
+features; attention logits are normalized per destination node with an
+edge softmax, so influential neighbours dominate the aggregation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module, Parameter, Tensor
+from ..nn import init as weight_init
+from ..nn.ops import concat, dropout, index_select, rrelu, segment_softmax
+from .base import RelationalGraphLayer
+
+
+class KBGATLayer(RelationalGraphLayer):
+    """One graph-attention round over relational triples."""
+
+    def __init__(self, dim: int, rng: np.random.Generator,
+                 dropout_rate: float = 0.2, leaky_slope: float = 0.2):
+        super().__init__()
+        self.w_triple = Parameter(weight_init.xavier_uniform((3 * dim, dim), rng))
+        self.attn = Parameter(weight_init.xavier_uniform((dim, 1), rng))
+        self.w_self = Parameter(weight_init.xavier_uniform((dim, dim), rng))
+        self.dropout_rate = dropout_rate
+        self.leaky_slope = leaky_slope
+        self._rng = rng
+
+    def forward(self, h: Tensor, r: Tensor, src: np.ndarray,
+                rel: np.ndarray, dst: np.ndarray) -> Tensor:
+        num_nodes = h.shape[0]
+        triple = concat([index_select(h, src), index_select(r, rel),
+                         index_select(h, dst)], axis=-1)
+        messages = triple @ self.w_triple                       # (E, d)
+        logits = (messages @ self.attn).reshape(-1)             # (E,)
+        logits = logits.leaky_relu(self.leaky_slope)
+        alpha = segment_softmax(logits, dst, num_nodes)         # (E,)
+        weighted = messages * alpha.reshape(-1, 1)
+        from ..nn.ops import segment_sum
+        aggregated = segment_sum(weighted, dst, num_nodes)
+        out = aggregated + h @ self.w_self
+        out = rrelu(out, training=self.training, rng=self._rng)
+        return dropout(out, self.dropout_rate, self.training, self._rng)
+
+
+class KBGAT(Module):
+    """Stack of KBGAT attention layers."""
+
+    def __init__(self, dim: int, num_layers: int, rng: np.random.Generator,
+                 dropout_rate: float = 0.2):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("need at least one layer")
+        self.layers = [KBGATLayer(dim, rng, dropout_rate)
+                       for _ in range(num_layers)]
+
+    def forward(self, h: Tensor, r: Tensor, src: np.ndarray,
+                rel: np.ndarray, dst: np.ndarray) -> Tensor:
+        for layer in self.layers:
+            h = layer(h, r, src, rel, dst)
+        return h

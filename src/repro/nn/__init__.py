@@ -1,0 +1,26 @@
+"""``repro.nn`` — a from-scratch numpy autodiff and neural-network stack.
+
+This subpackage replaces PyTorch for the reproduction: reverse-mode
+autodiff (:mod:`repro.nn.tensor`), functional ops including the
+gather/scatter message-passing primitives (:mod:`repro.nn.ops`), layers
+(:mod:`repro.nn.modules`, :mod:`repro.nn.recurrent`), losses
+(:mod:`repro.nn.functional`) and optimizers (:mod:`repro.nn.optim`).
+"""
+
+from .tensor import Tensor, arange, no_grad, ones, tensor, zeros, zeros_like
+from .modules import (BatchNorm1d, Dropout, Embedding, LayerNorm, Linear,
+                      MLP, Module, Parameter, ReLU, Sequential, Tanh)
+from .recurrent import GRUCell, TimeGate
+from .optim import (SGD, Adam, CosineLR, Optimizer, RMSProp,
+                    StepLR, clip_grad_norm)
+from . import functional, init, ops
+
+__all__ = [
+    "Tensor", "tensor", "zeros", "ones", "zeros_like", "arange", "no_grad",
+    "Module", "Parameter", "Linear", "Embedding", "Dropout", "LayerNorm",
+    "Sequential", "MLP", "Tanh", "ReLU", "BatchNorm1d",
+    "GRUCell", "TimeGate",
+    "Optimizer", "Adam", "SGD", "RMSProp", "StepLR", "CosineLR",
+    "clip_grad_norm",
+    "functional", "ops", "init",
+]

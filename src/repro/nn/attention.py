@@ -1,0 +1,69 @@
+"""Multi-head self-attention (for the transformer-family baselines).
+
+A compact scaled-dot-product attention stack on top of the autodiff
+engine: linear Q/K/V projections, per-head softmax attention, optional
+additive mask, and an output projection.  Used by the GHT-style
+transformer baseline to encode a subject's history sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import init as weight_init
+from .modules import Linear, Module
+from .ops import softmax
+from .tensor import Tensor
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention over ``(batch, seq, dim)``."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng)
+        self.k_proj = Linear(dim, dim, rng)
+        self.v_proj = Linear(dim, dim, rng)
+        self.out_proj = Linear(dim, dim, rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (b, s, d) -> (b, h, s, hd)
+        return x.reshape(batch, seq, self.num_heads,
+                         self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor,
+                mask: Optional[np.ndarray] = None) -> Tensor:
+        """Attend within each sequence.
+
+        ``mask`` is an optional ``(seq, seq)`` additive mask (use large
+        negative values to forbid positions, e.g. a causal mask).
+        """
+        batch, seq, _ = x.shape
+        flat = x.reshape(batch * seq, self.dim)
+        q = self._split_heads(self.q_proj(flat).reshape(batch, seq, self.dim),
+                              batch, seq)
+        k = self._split_heads(self.k_proj(flat).reshape(batch, seq, self.dim),
+                              batch, seq)
+        v = self._split_heads(self.v_proj(flat).reshape(batch, seq, self.dim),
+                              batch, seq)
+        scale = 1.0 / float(np.sqrt(self.head_dim))
+        logits = (q @ k.transpose(0, 1, 3, 2)) * scale    # (b, h, s, s)
+        if mask is not None:
+            logits = logits + Tensor(mask.astype(logits.dtype))
+        attn = softmax(logits, axis=-1)
+        mixed = attn @ v                                   # (b, h, s, hd)
+        merged = mixed.transpose(0, 2, 1, 3).reshape(batch * seq, self.dim)
+        return self.out_proj(merged).reshape(batch, seq, self.dim)
+
+
+def causal_mask(seq: int) -> np.ndarray:
+    """Additive mask forbidding attention to future positions."""
+    mask = np.triu(np.full((seq, seq), -1e9, dtype=np.float32), k=1)
+    return mask

@@ -1,0 +1,58 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit ``numpy.random.Generator`` so that every
+model in the reproduction is bit-for-bit reseedable; no global RNG state is
+touched anywhere in :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+                   gain: float = 1.0, dtype=np.float32) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a), a = gain * sqrt(6 / (fan_in+fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator,
+                  gain: float = 1.0, dtype=np.float32) -> np.ndarray:
+    """Glorot/Xavier normal: N(0, gain^2 * 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return (rng.standard_normal(shape) * std).astype(dtype)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+                    dtype=np.float32) -> np.ndarray:
+    """He uniform for ReLU-family activations."""
+    fan_in, _ = _fans(shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def normal(shape: Tuple[int, ...], rng: np.random.Generator,
+           std: float = 0.02, dtype=np.float32) -> np.ndarray:
+    """Plain Gaussian initialization."""
+    return (rng.standard_normal(shape) * std).astype(dtype)
+
+
+def zeros(shape: Tuple[int, ...], dtype=np.float32) -> np.ndarray:
+    return np.zeros(shape, dtype=dtype)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense and conv weight shapes."""
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    # conv: (out_ch, in_ch, *kernel)
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

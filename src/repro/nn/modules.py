@@ -1,0 +1,276 @@
+"""Module/Parameter abstractions and common layers.
+
+The :class:`Module` base class mirrors the PyTorch API surface that the
+rest of the reproduction needs — recursive parameter discovery, train/eval
+modes, and state-dict (de)serialization to plain numpy — without any of
+the framework machinery we don't use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import init as weight_init
+from .ops import dropout as dropout_op
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable weight of a :class:`Module`."""
+
+    def __init__(self, data: np.ndarray, name: Optional[str] = None):
+        super().__init__(np.asarray(data), requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural network components.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; :meth:`parameters` discovers them recursively.  ``training``
+    toggles dropout/RReLU behaviour through :meth:`train` / :meth:`eval`.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- parameter discovery -------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for attr, value in vars(self).items():
+            name = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{name}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{name}.{i}.")
+            elif isinstance(value, dict):
+                for key, item in value.items():
+                    if isinstance(item, Parameter):
+                        yield f"{name}.{key}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{name}.{key}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    # -- modes ----------------------------------------------------------------
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+            elif isinstance(value, dict):
+                for item in value.values():
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    # -- serialization ----------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy every parameter into a plain dict of numpy arrays."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters in place; shapes must match exactly."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for name, p in params.items():
+            value = np.asarray(state[name])
+            if value.shape != p.data.shape:
+                raise ValueError(f"shape mismatch for {name}: "
+                                 f"{value.shape} vs {p.data.shape}")
+            p.data = value.astype(p.data.dtype, copy=True)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine transform ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            weight_init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(weight_init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense rows."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator,
+                 scale: Optional[float] = None):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        if scale is None:
+            self.weight = Parameter(
+                weight_init.xavier_normal((num_embeddings, dim), rng))
+        else:
+            self.weight = Parameter(
+                weight_init.normal((num_embeddings, dim), rng, std=scale))
+
+    def forward(self, index) -> Tensor:
+        from .ops import index_select
+        return index_select(self.weight, index)
+
+    def all(self) -> Tensor:
+        """Return the full table as a tensor (rows are ids in order)."""
+        return self.weight
+
+
+class Dropout(Module):
+    """Inverted dropout layer; identity in eval mode."""
+
+    def __init__(self, rate: float, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.rate = rate
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout_op(x, self.rate, self.training, self.rng)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim, dtype=np.float32))
+        self.beta = Parameter(np.zeros(dim, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output into the next."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class MLP(Module):
+    """Multi-layer perceptron with tanh hidden activations.
+
+    The paper's contrast module (Eq. 15-16) uses an MLP projection head
+    that maps concatenated query features onto the unit sphere; callers
+    apply :func:`repro.nn.ops.l2_normalize` on the output.
+    """
+
+    def __init__(self, dims: Sequence[int], rng: np.random.Generator,
+                 activation: str = "tanh", dropout: float = 0.0):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dims")
+        layers: List[Module] = []
+        for i, (din, dout) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(Linear(din, dout, rng))
+            is_last = i == len(dims) - 2
+            if not is_last:
+                layers.append(Tanh() if activation == "tanh" else ReLU())
+                if dropout > 0:
+                    layers.append(Dropout(dropout, rng))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over axis 0 with running statistics.
+
+    Provided for CNN-decoder fidelity experiments (the official ConvE /
+    ConvTransE implementations use batch norm; the defaults here use
+    dropout-only stacks because the paper's per-timestamp batches vary
+    widely in size, which makes batch statistics noisy).
+    """
+
+    def __init__(self, dim: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim, dtype=np.float32))
+        self.beta = Parameter(np.zeros(dim, dtype=np.float32))
+        self.running_mean = np.zeros(dim, dtype=np.float32)
+        self.running_var = np.ones(dim, dtype=np.float32)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=0, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=0, keepdims=True)
+            # update running statistics outside the autodiff graph
+            self.running_mean = ((1 - self.momentum) * self.running_mean
+                                 + self.momentum * mean.data.reshape(-1))
+            self.running_var = ((1 - self.momentum) * self.running_var
+                                + self.momentum * var.data.reshape(-1))
+            normed = centered / (var + self.eps).sqrt()
+        else:
+            mean = Tensor(self.running_mean[None, :])
+            std = Tensor(np.sqrt(self.running_var + self.eps)[None, :])
+            normed = (x - mean) / std
+        return normed * self.gamma + self.beta

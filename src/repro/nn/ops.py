@@ -1,0 +1,418 @@
+"""Functional operations that combine or restructure tensors.
+
+Everything here is expressed in terms of :class:`repro.nn.tensor.Tensor`
+primitives plus hand-written backward closures where a fused implementation
+is materially faster (softmax, gather/scatter, conv1d).
+
+The gather/scatter pair (:func:`index_select` / :func:`index_add`) is the
+workhorse of graph message passing: an R-GCN layer gathers source-entity
+rows, transforms them, and scatter-adds the messages onto destination rows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor, _unbroadcast, is_grad_enabled
+
+try:  # scipy accelerates the scatter primitives; ops degrade gracefully
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - scipy is a soft dependency
+    _sparse = None
+
+IndexLike = Union[Tensor, np.ndarray, Sequence[int]]
+
+# Cache of one-hot scatter matrices keyed by the index array's contents.
+# Graph snapshots are re-encoded every epoch with identical edge arrays,
+# so the CSR construction cost is paid once per distinct snapshot.
+_SCATTER_CACHE: "OrderedDict[tuple, object]" = None
+_SCATTER_CACHE_LIMIT = 1024
+
+
+def _scatter_matrix(idx: np.ndarray, num_segments: int):
+    """CSR matrix M with M[idx[e], e] = 1 — scatter-add as a matmul."""
+    global _SCATTER_CACHE
+    if _sparse is None:
+        return None
+    if _SCATTER_CACHE is None:
+        from collections import OrderedDict
+        _SCATTER_CACHE = OrderedDict()
+    key = (idx.tobytes(), num_segments)
+    cached = _SCATTER_CACHE.get(key)
+    if cached is not None:
+        _SCATTER_CACHE.move_to_end(key)
+        return cached
+    num_edges = len(idx)
+    mat = _sparse.csr_matrix(
+        (np.ones(num_edges, dtype=np.float32),
+         (idx, np.arange(num_edges))),
+        shape=(num_segments, num_edges))
+    _SCATTER_CACHE[key] = mat
+    if len(_SCATTER_CACHE) > _SCATTER_CACHE_LIMIT:
+        _SCATTER_CACHE.popitem(last=False)
+    return mat
+
+
+def _scatter_add_rows(idx: np.ndarray, values: np.ndarray,
+                      num_segments: int) -> np.ndarray:
+    """Sum ``values`` rows into ``num_segments`` buckets (fast path)."""
+    mat = _scatter_matrix(idx, num_segments)
+    if mat is None:  # scipy unavailable: fall back to the ufunc
+        out = np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)
+        np.add.at(out, idx, values)
+        return out
+    if values.ndim == 1:
+        return np.asarray(mat @ values[:, None]).reshape(num_segments)
+    return np.asarray(mat @ values)
+
+
+def _index_array(index: IndexLike) -> np.ndarray:
+    if isinstance(index, Tensor):
+        index = index.data
+    arr = np.asarray(index)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError(f"indices must be integers, got {arr.dtype}")
+    return arr
+
+
+# ---------------------------------------------------------------------------
+# structural ops
+# ---------------------------------------------------------------------------
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` (differentiable)."""
+    tensors = list(tensors)
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            t._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis (differentiable)."""
+    tensors = list(tensors)
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for t, piece in zip(tensors, pieces):
+            t._accumulate(np.squeeze(piece, axis=axis))
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def where(condition: Union[np.ndarray, Tensor], a: Tensor, b: Tensor) -> Tensor:
+    """Element-wise select: ``condition ? a : b`` (differentiable in a, b)."""
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    cond = cond.astype(bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(_unbroadcast(grad * cond, a.shape))
+        b._accumulate(_unbroadcast(grad * ~cond, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def pad2d(t: Tensor, pad: Tuple[int, int, int, int]) -> Tensor:
+    """Zero-pad the last two axes: ``pad = (top, bottom, left, right)``."""
+    top, bottom, left, right = pad
+    widths = [(0, 0)] * (t.ndim - 2) + [(top, bottom), (left, right)]
+    out_data = np.pad(t.data, widths)
+
+    def backward(grad: np.ndarray) -> None:
+        slicer = [slice(None)] * (t.ndim - 2)
+        slicer.append(slice(top, grad.shape[-2] - bottom))
+        slicer.append(slice(left, grad.shape[-1] - right))
+        t._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(out_data, (t,), backward)
+
+
+# ---------------------------------------------------------------------------
+# gather / scatter — graph message passing primitives
+# ---------------------------------------------------------------------------
+
+def index_select(source: Tensor, index: IndexLike) -> Tensor:
+    """Gather rows of ``source`` (axis 0) — the embedding-lookup primitive.
+
+    Equivalent to ``source[index]`` but kept as a named op for clarity at
+    message-passing call sites.
+    """
+    idx = _index_array(index)
+    out_data = source.data[idx]
+    num_rows = source.shape[0]
+
+    def backward(grad: np.ndarray) -> None:
+        source._accumulate(_scatter_add_rows(idx, grad, num_rows))
+
+    return Tensor._make(out_data, (source,), backward)
+
+
+def index_add(base: Tensor, index: IndexLike, values: Tensor) -> Tensor:
+    """Return ``base`` with ``values`` scatter-added at ``index`` (axis 0).
+
+    Duplicate indices accumulate, which is exactly the sum-aggregation a
+    GCN needs when several edges share a destination node.
+    """
+    idx = _index_array(index)
+    out_data = base.data.copy()
+    np.add.at(out_data, idx, values.data)
+
+    def backward(grad: np.ndarray) -> None:
+        base._accumulate(grad)
+        values._accumulate(grad[idx])
+
+    return Tensor._make(out_data, (base, values), backward)
+
+
+def segment_sum(values: Tensor, segment_ids: IndexLike, num_segments: int) -> Tensor:
+    """Sum ``values`` rows into ``num_segments`` buckets by ``segment_ids``."""
+    idx = _index_array(segment_ids)
+    out_data = _scatter_add_rows(idx, values.data, num_segments)
+
+    def backward(grad: np.ndarray) -> None:
+        values._accumulate(grad[idx])
+
+    return Tensor._make(out_data, (values,), backward)
+
+
+def segment_mean(values: Tensor, segment_ids: IndexLike,
+                 num_segments: int) -> Tensor:
+    """Mean-pool ``values`` rows into buckets; empty buckets stay zero."""
+    idx = _index_array(segment_ids)
+    counts = np.bincount(idx, minlength=num_segments).astype(values.data.dtype)
+    counts = np.maximum(counts, 1.0)
+    total = segment_sum(values, idx, num_segments)
+    return total * Tensor(1.0 / counts[:, None] if values.ndim > 1 else 1.0 / counts)
+
+
+def segment_softmax(scores: Tensor, segment_ids: IndexLike,
+                    num_segments: int) -> Tensor:
+    """Softmax over variable-size segments (per-destination edge softmax).
+
+    Used by the KBGAT attention aggregator where each destination node
+    normalizes the attention logits of its incoming edges.
+    """
+    idx = _index_array(segment_ids)
+    data = scores.data
+    seg_max = np.full(num_segments, -np.inf, dtype=data.dtype)
+    np.maximum.at(seg_max, idx, data)
+    seg_max = np.where(np.isfinite(seg_max), seg_max, 0.0)
+    shifted = data - seg_max[idx]
+    exp = np.exp(shifted)
+    seg_sum = np.zeros(num_segments, dtype=data.dtype)
+    np.add.at(seg_sum, idx, exp)
+    out_data = exp / np.maximum(seg_sum[idx], 1e-12)
+
+    def backward(grad: np.ndarray) -> None:
+        # d softmax: p * (grad - sum_j p_j grad_j) within each segment
+        weighted = out_data * grad
+        seg_dot = np.zeros(num_segments, dtype=data.dtype)
+        np.add.at(seg_dot, idx, weighted)
+        scores._accumulate(weighted - out_data * seg_dot[idx])
+
+    return Tensor._make(out_data, (scores,), backward)
+
+
+# ---------------------------------------------------------------------------
+# normalizations / softmax family
+# ---------------------------------------------------------------------------
+
+def softmax(t: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = t.data - t.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        t._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (t,), backward)
+
+
+def log_softmax(t: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = t.data - t.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_sum
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        t._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (t,), backward)
+
+
+def logsumexp(t: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable log-sum-exp reduction."""
+    m = t.data.max(axis=axis, keepdims=True)
+    exp = np.exp(t.data - m)
+    s = exp.sum(axis=axis, keepdims=True)
+    out_keep = m + np.log(s)
+    out_data = out_keep if keepdims else np.squeeze(out_keep, axis=axis)
+    soft = exp / s
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad if keepdims else np.expand_dims(grad, axis)
+        t._accumulate(soft * g)
+
+    return Tensor._make(out_data, (t,), backward)
+
+
+def l2_normalize(t: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Project rows onto the unit sphere (used by the contrast module)."""
+    norm = np.sqrt((t.data ** 2).sum(axis=axis, keepdims=True))
+    norm = np.maximum(norm, eps)
+    out_data = t.data / norm
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        t._accumulate((grad - out_data * dot) / norm)
+
+    return Tensor._make(out_data, (t,), backward)
+
+
+# ---------------------------------------------------------------------------
+# dropout / noise
+# ---------------------------------------------------------------------------
+
+def dropout(t: Tensor, rate: float, training: bool,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: identity at eval time or when ``rate == 0``."""
+    if not training or rate <= 0.0:
+        return t
+    rng = rng or np.random.default_rng()
+    keep = 1.0 - rate
+    mask = (rng.random(t.shape) < keep).astype(t.data.dtype) / keep
+    out_data = t.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        t._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (t,), backward)
+
+
+def rrelu(t: Tensor, lower: float = 1.0 / 8.0, upper: float = 1.0 / 3.0,
+          training: bool = False,
+          rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Randomized leaky ReLU (the paper's sigma_1 in Eq. 4).
+
+    During training the negative-side slope is sampled uniformly from
+    ``[lower, upper]`` per element; at eval it is fixed to the mean slope,
+    matching PyTorch's ``RReLU`` semantics.
+    """
+    if training:
+        rng = rng or np.random.default_rng()
+        slope = rng.uniform(lower, upper, size=t.shape).astype(t.data.dtype)
+    else:
+        slope = np.full(t.shape, (lower + upper) / 2.0, dtype=t.data.dtype)
+    out_data = np.where(t.data >= 0, t.data, slope * t.data)
+
+    def backward(grad: np.ndarray) -> None:
+        t._accumulate(grad * np.where(t.data >= 0, 1.0, slope))
+
+    return Tensor._make(out_data, (t,), backward)
+
+
+# ---------------------------------------------------------------------------
+# convolution (for the ConvTransE decoder and ConvE baseline)
+# ---------------------------------------------------------------------------
+
+def conv2d_valid(x: Tensor, weight: Tensor,
+                 bias: Optional[Tensor] = None) -> Tensor:
+    """2-D convolution, no padding ('valid').
+
+    Shapes: ``x (batch, in_ch, H, W)``, ``weight (out_ch, in_ch, kh, kw)``,
+    output ``(batch, out_ch, H-kh+1, W-kw+1)``.  Uses an im2col unfold so
+    both passes are dense einsums.
+    """
+    batch, in_ch, height, width = x.shape
+    out_ch, in_ch_w, kh, kw = weight.shape
+    if in_ch != in_ch_w:
+        raise ValueError(f"channel mismatch: x has {in_ch}, weight has {in_ch_w}")
+    out_h, out_w = height - kh + 1, width - kw + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError("kernel larger than input")
+    # windows: (batch, in_ch, out_h, out_w, kh, kw)
+    windows = np.lib.stride_tricks.sliding_window_view(x.data, (kh, kw),
+                                                       axis=(2, 3))
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, out_h * out_w, in_ch * kh * kw)
+    w2 = weight.data.reshape(out_ch, in_ch * kh * kw)
+    out_data = np.einsum("bpf,of->bop", cols, w2).reshape(
+        batch, out_ch, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data[None, :, None, None]
+
+    def backward(grad: np.ndarray) -> None:
+        g2 = grad.reshape(batch, out_ch, out_h * out_w)
+        if weight.requires_grad:
+            gw = np.einsum("bop,bpf->of", g2, cols)
+            weight._accumulate(gw.reshape(out_ch, in_ch, kh, kw))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            gcols = np.einsum("bop,of->bpf", g2, w2)
+            gcols = gcols.reshape(batch, out_h, out_w, in_ch, kh, kw)
+            gx = np.zeros_like(x.data)
+            for i in range(kh):
+                for j in range(kw):
+                    gx[:, :, i:i + out_h, j:j + out_w] += (
+                        gcols[:, :, :, :, i, j].transpose(0, 3, 1, 2))
+            x._accumulate(gx)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out_data, parents, backward)
+
+
+
+def conv1d_same(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """1-D convolution with 'same' zero padding.
+
+    Shapes: ``x (batch, in_ch, width)``, ``weight (out_ch, in_ch, k)``,
+    output ``(batch, out_ch, width)``.  Implemented via an im2col unfold so
+    both passes are dense matmuls — vital for speed in pure numpy.
+    """
+    batch, in_ch, width = x.shape
+    out_ch, in_ch_w, k = weight.shape
+    if in_ch != in_ch_w:
+        raise ValueError(f"channel mismatch: x has {in_ch}, weight has {in_ch_w}")
+    pad_left = (k - 1) // 2
+    pad_right = k - 1 - pad_left
+    padded = np.pad(x.data, ((0, 0), (0, 0), (pad_left, pad_right)))
+    # unfold: (batch, width, in_ch * k)
+    cols = np.lib.stride_tricks.sliding_window_view(padded, k, axis=2)
+    cols = cols.transpose(0, 2, 1, 3).reshape(batch * width, in_ch * k)
+    w2 = weight.data.reshape(out_ch, in_ch * k)
+    out_data = (cols @ w2.T).reshape(batch, width, out_ch).transpose(0, 2, 1)
+    if bias is not None:
+        out_data = out_data + bias.data[None, :, None]
+
+    def backward(grad: np.ndarray) -> None:
+        # grad: (batch, out_ch, width) -> (batch*width, out_ch)
+        g2 = grad.transpose(0, 2, 1).reshape(batch * width, out_ch)
+        if weight.requires_grad:
+            weight._accumulate((g2.T @ cols).reshape(out_ch, in_ch, k))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2)))
+        if x.requires_grad:
+            gcols = (g2 @ w2).reshape(batch, width, in_ch, k)
+            gcols = gcols.transpose(0, 2, 1, 3)
+            gpad = np.zeros_like(padded)
+            for j in range(k):
+                gpad[:, :, j:j + width] += gcols[:, :, :, j]
+            x._accumulate(gpad[:, :, pad_left:pad_left + width])
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor._make(out_data, parents, backward)

@@ -1,0 +1,111 @@
+"""Model registry: build any model of the study by name.
+
+Benchmarks and examples construct models through this registry so each
+experiment lists plain model names and per-model defaults stay in one
+place.  Every factory takes the dataset (for vocabulary sizes) plus
+keyword overrides.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .baselines import (CEN, CENET, ComplEx, ConvE, ConvTransEStatic, CyGNet, GHT,
+                        HisMatch, XERTE,
+                        DESimplE, DistMult, REGCN, RENet, RotatE,
+                        TADistMult, TiRGN, TNTComplEx, TTransE)
+from .core import LogCL, LogCLConfig
+from .interface import ExtrapolationModel
+from .tkg.dataset import TKGDataset
+
+ModelFactory = Callable[..., ExtrapolationModel]
+
+
+def _logcl(dataset: TKGDataset, dim: int = 48, seed: int = 0,
+           **config_overrides) -> LogCL:
+    config = LogCLConfig(dim=dim, seed=seed, **config_overrides)
+    return LogCL(config, dataset.num_entities, dataset.num_relations,
+                 static_facts=dataset.static_facts)
+
+
+_REGISTRY: Dict[str, ModelFactory] = {
+    # static
+    "distmult": lambda ds, dim=48, seed=0, **kw: DistMult(
+        ds.num_entities, ds.num_relations, dim, seed=seed, **kw),
+    "complex": lambda ds, dim=48, seed=0, **kw: ComplEx(
+        ds.num_entities, ds.num_relations, dim, seed=seed, **kw),
+    "conve": lambda ds, dim=48, seed=0, **kw: ConvE(
+        ds.num_entities, ds.num_relations, dim, seed=seed, **kw),
+    "conv-transe": lambda ds, dim=48, seed=0, **kw: ConvTransEStatic(
+        ds.num_entities, ds.num_relations, dim, seed=seed, **kw),
+    "rotate": lambda ds, dim=48, seed=0, **kw: RotatE(
+        ds.num_entities, ds.num_relations, dim, seed=seed, **kw),
+    # interpolation
+    "ttranse": lambda ds, dim=48, seed=0, **kw: TTransE(
+        ds.num_entities, ds.num_relations, dim,
+        num_timestamps=ds.num_timestamps, seed=seed, **kw),
+    "ta-distmult": lambda ds, dim=48, seed=0, **kw: TADistMult(
+        ds.num_entities, ds.num_relations, dim,
+        num_timestamps=ds.num_timestamps, seed=seed, **kw),
+    "de-simple": lambda ds, dim=48, seed=0, **kw: DESimplE(
+        ds.num_entities, ds.num_relations, dim,
+        num_timestamps=ds.num_timestamps, seed=seed, **kw),
+    "tntcomplex": lambda ds, dim=48, seed=0, **kw: TNTComplEx(
+        ds.num_entities, ds.num_relations, dim,
+        num_timestamps=ds.num_timestamps, seed=seed, **kw),
+    # extrapolation
+    "cygnet": lambda ds, dim=48, seed=0, **kw: CyGNet(
+        ds.num_entities, ds.num_relations, dim, seed=seed, **kw),
+    "renet": lambda ds, dim=48, seed=0, **kw: RENet(
+        ds.num_entities, ds.num_relations, dim, seed=seed, **kw),
+    "ght": lambda ds, dim=48, seed=0, **kw: GHT(
+        ds.num_entities, ds.num_relations, dim, seed=seed, **kw),
+    "hismatch": lambda ds, dim=48, seed=0, **kw: HisMatch(
+        ds.num_entities, ds.num_relations, dim, seed=seed, **kw),
+    "xerte": lambda ds, dim=48, seed=0, **kw: XERTE(
+        ds.num_entities, ds.num_relations, dim, seed=seed, **kw),
+    "regcn": lambda ds, dim=48, seed=0, **kw: REGCN(
+        ds.num_entities, ds.num_relations, dim, seed=seed, **kw),
+    "cen": lambda ds, dim=48, seed=0, **kw: CEN(
+        ds.num_entities, ds.num_relations, dim, seed=seed, **kw),
+    "tirgn": lambda ds, dim=48, seed=0, **kw: TiRGN(
+        ds.num_entities, ds.num_relations, dim, seed=seed, **kw),
+    "cenet": lambda ds, dim=48, seed=0, **kw: CENET(
+        ds.num_entities, ds.num_relations, dim, seed=seed, **kw),
+    # ours
+    "logcl": _logcl,
+}
+
+MODEL_FAMILIES: Dict[str, str] = {
+    "distmult": "static", "complex": "static", "conve": "static",
+    "conv-transe": "static", "rotate": "static",
+    "ttranse": "interpolation", "ta-distmult": "interpolation",
+    "de-simple": "interpolation", "tntcomplex": "interpolation",
+    "cygnet": "extrapolation", "renet": "extrapolation",
+    "ght": "extrapolation", "hismatch": "extrapolation",
+    "xerte": "extrapolation",
+    "regcn": "extrapolation",
+    "cen": "extrapolation", "tirgn": "extrapolation",
+    "cenet": "extrapolation", "logcl": "extrapolation",
+}
+
+
+def build_model(name: str, dataset: TKGDataset,
+                **overrides) -> ExtrapolationModel:
+    """Construct a registered model by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {model_names()}")
+    return _REGISTRY[name](dataset, **overrides)
+
+
+def model_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def register_model(name: str, factory: ModelFactory,
+                   family: str = "custom") -> None:
+    """Register a user-supplied model factory (extension point)."""
+    if name in _REGISTRY:
+        raise ValueError(f"model {name!r} already registered")
+    _REGISTRY[name] = factory
+    MODEL_FAMILIES[name] = family

@@ -1,0 +1,89 @@
+"""Plain-text rendering for experiment outputs.
+
+Benchmarks run headless (pytest, CI logs), so sweeps and comparisons are
+rendered as aligned text tables and unicode bar/spark charts rather than
+figures.  Everything returns lists of lines so callers can print, log,
+or write them to the results directory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], low: Optional[float] = None,
+              high: Optional[float] = None) -> str:
+    """Render a sequence as a unicode sparkline.
+
+    ``low``/``high`` pin the scale (useful when comparing several lines);
+    they default to the data range.
+    """
+    values = list(values)
+    if not values:
+        return ""
+    lo = min(values) if low is None else low
+    hi = max(values) if high is None else high
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[4] * len(values)
+    chars = []
+    for value in values:
+        idx = int(round((value - lo) / span * (len(_BLOCKS) - 1)))
+        chars.append(_BLOCKS[max(0, min(idx, len(_BLOCKS) - 1))])
+    return "".join(chars)
+
+
+def bar_chart(rows: Mapping[str, float], width: int = 40,
+              unit: str = "") -> List[str]:
+    """Horizontal bar chart; one line per labelled value."""
+    if not rows:
+        return []
+    peak = max(rows.values())
+    label_width = max(len(label) for label in rows)
+    lines = []
+    for label, value in rows.items():
+        filled = 0 if peak <= 0 else int(round(value / peak * width))
+        lines.append(f"{label:<{label_width}s} "
+                     f"{'█' * filled}{'·' * (width - filled)} "
+                     f"{value:.2f}{unit}")
+    return lines
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+          precision: int = 2) -> List[str]:
+    """Render an aligned text table with numeric formatting."""
+    formatted_rows: List[List[str]] = []
+    for row in rows:
+        formatted = []
+        for cell in row:
+            if isinstance(cell, float):
+                formatted.append(f"{cell:.{precision}f}")
+            else:
+                formatted.append(str(cell))
+        formatted_rows.append(formatted)
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                         for i, cell in enumerate(cells))
+    lines = [render(list(headers)), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in formatted_rows)
+    return lines
+
+
+def sweep_chart(title: str, xs: Sequence[float],
+                series: Mapping[str, Sequence[float]]) -> List[str]:
+    """Render a parameter sweep: one sparkline + endpoints per series."""
+    lines = [title, "x: " + ", ".join(f"{x:g}" for x in xs)]
+    all_values = [v for values in series.values() for v in values]
+    lo, hi = (min(all_values), max(all_values)) if all_values else (0, 1)
+    label_width = max((len(name) for name in series), default=0)
+    for name, values in series.items():
+        lines.append(f"{name:<{label_width}s} {sparkline(values, lo, hi)} "
+                     f"[{values[0]:.2f} .. {values[-1]:.2f}]"
+                     f" peak {max(values):.2f}")
+    return lines

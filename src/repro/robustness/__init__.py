@@ -1,0 +1,5 @@
+"""``repro.robustness`` — Gaussian-noise sweeps (Fig. 2 / Fig. 5)."""
+
+from .noise import (DEFAULT_SIGMAS, NoisePoint, NoiseSweepResult, noise_sweep)
+
+__all__ = ["noise_sweep", "NoiseSweepResult", "NoisePoint", "DEFAULT_SIGMAS"]

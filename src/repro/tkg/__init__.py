@@ -1,0 +1,24 @@
+"""``repro.tkg`` — the temporal-knowledge-graph data substrate.
+
+Quadruple storage (:mod:`repro.tkg.quadruples`), datasets with
+chronological splits and snapshot views (:mod:`repro.tkg.dataset`),
+evaluation filters (:mod:`repro.tkg.filtering`), vocabularies and disk IO
+compatible with the public ICEWS/GDELT benchmark format.
+"""
+
+from .dataset import Snapshot, TKGDataset, chronological_split
+from .filtering import StaticFilter, TimeAwareFilter
+from .io import (load_benchmark_directory, load_quadruple_file,
+                 save_benchmark_directory, save_quadruple_file)
+from .quadruples import Quadruple, QuadrupleSet
+from .sampling import corrupt_objects, corruption_rate
+from .vocabulary import Vocabulary
+
+__all__ = [
+    "Quadruple", "QuadrupleSet", "Vocabulary",
+    "Snapshot", "TKGDataset", "chronological_split",
+    "TimeAwareFilter", "StaticFilter",
+    "corrupt_objects", "corruption_rate",
+    "load_quadruple_file", "save_quadruple_file",
+    "load_benchmark_directory", "save_benchmark_directory",
+]

@@ -1,0 +1,77 @@
+"""Answer-filtering indices for ranking evaluation.
+
+TKG extrapolation papers (and this one, §IV-B1) report the *time-aware
+filtered* setting: when ranking candidate objects for query ``(s, r, ?, t)``
+only the other true objects *at the same timestamp t* are removed from the
+candidate list.  The legacy *static filtered* setting removes true objects
+at any timestamp, which leaks future information; the *raw* setting removes
+nothing.  All three are provided.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+import numpy as np
+
+from .quadruples import QuadrupleSet
+
+
+class TimeAwareFilter:
+    """Index of true objects keyed by (subject, relation, time)."""
+
+    def __init__(self, facts: Iterable[QuadrupleSet]):
+        index: Dict[Tuple[int, int, int], Set[int]] = defaultdict(set)
+        for quad_set in facts:
+            arr = quad_set.array
+            for s, r, o, t in arr:
+                index[(int(s), int(r), int(t))].add(int(o))
+        self._index: Dict[Tuple[int, int, int], FrozenSet[int]] = {
+            key: frozenset(vals) for key, vals in index.items()}
+
+    def true_objects(self, s: int, r: int, t: int) -> FrozenSet[int]:
+        """All objects o such that (s, r, o, t) is a known fact."""
+        return self._index.get((s, r, t), frozenset())
+
+    def filter_scores(self, scores: np.ndarray, s: int, r: int, t: int,
+                      target: int) -> np.ndarray:
+        """Return a copy of ``scores`` with competing true objects at -inf.
+
+        The gold ``target`` itself keeps its score so its rank is defined.
+        """
+        others = self.true_objects(s, r, t) - {target}
+        if not others:
+            return scores
+        filtered = scores.copy()
+        filtered[list(others)] = -np.inf
+        return filtered
+
+
+class StaticFilter:
+    """Index of true objects keyed by (subject, relation) over all time.
+
+    Provided for comparison with older evaluation protocols; the paper
+    argues this setting is unsuitable for extrapolation (it filters out
+    facts that legitimately recur at the query time).
+    """
+
+    def __init__(self, facts: Iterable[QuadrupleSet]):
+        index: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+        for quad_set in facts:
+            for s, r, o, _ in quad_set.array:
+                index[(int(s), int(r))].add(int(o))
+        self._index: Dict[Tuple[int, int], FrozenSet[int]] = {
+            key: frozenset(vals) for key, vals in index.items()}
+
+    def true_objects(self, s: int, r: int) -> FrozenSet[int]:
+        return self._index.get((s, r), frozenset())
+
+    def filter_scores(self, scores: np.ndarray, s: int, r: int,
+                      target: int) -> np.ndarray:
+        others = self.true_objects(s, r) - {target}
+        if not others:
+            return scores
+        filtered = scores.copy()
+        filtered[list(others)] = -np.inf
+        return filtered

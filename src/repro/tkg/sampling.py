@@ -1,0 +1,60 @@
+"""Negative sampling utilities for margin-based training.
+
+Translation-family models (TransE lineage: TTransE, RotatE) are
+classically trained with margin ranking over corrupted triples rather
+than full-softmax cross-entropy.  These helpers generate the corrupted
+candidates; :func:`repro.nn.functional.margin_ranking_loss` consumes the
+resulting score pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+import numpy as np
+
+
+def corrupt_objects(objects: np.ndarray, num_entities: int,
+                    rng: np.random.Generator,
+                    num_negatives: int = 1,
+                    avoid: Optional[np.ndarray] = None) -> np.ndarray:
+    """Sample corrupted objects for each positive fact.
+
+    Returns an ``(len(objects), num_negatives)`` array of entity ids,
+    resampled so no negative equals its positive (and, if ``avoid`` is
+    given as a per-row 2-D mask-compatible array, none of those either —
+    used to avoid sampling other true answers of the same query).
+    """
+    if num_entities < 2:
+        raise ValueError("need at least 2 entities to corrupt")
+    negatives = rng.integers(0, num_entities,
+                             size=(len(objects), num_negatives))
+    for _ in range(10):  # resampling loop; collision probability shrinks fast
+        collisions = negatives == objects[:, None]
+        if avoid is not None:
+            collisions |= np.isin(negatives, avoid)
+        if not collisions.any():
+            break
+        negatives[collisions] = rng.integers(0, num_entities,
+                                             size=int(collisions.sum()))
+    # final guard: shift any remaining collision deterministically
+    collisions = negatives == objects[:, None]
+    negatives[collisions] = (negatives[collisions] + 1) % num_entities
+    return negatives
+
+
+def corruption_rate(negatives: np.ndarray, truths: Set[Tuple[int, int]],
+                    subjects: np.ndarray) -> float:
+    """Fraction of sampled negatives that are accidentally true facts.
+
+    Diagnostic: with dense datasets, naive corruption produces false
+    negatives; this measures how often, given a set of true
+    (subject, object) pairs.
+    """
+    hits = 0
+    total = negatives.size
+    for row, subject in enumerate(subjects):
+        for obj in negatives[row]:
+            if (int(subject), int(obj)) in truths:
+                hits += 1
+    return hits / max(total, 1)

@@ -1,0 +1,49 @@
+"""Entity/relation vocabularies for temporal knowledge graphs."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class Vocabulary:
+    """Bidirectional name <-> id mapping for entities or relations.
+
+    Ids are assigned densely in insertion order, which keeps embedding
+    tables compact and makes datasets reproducible when names are added in
+    a deterministic order.
+    """
+
+    def __init__(self, names: Optional[Iterable[str]] = None):
+        self._name_to_id: Dict[str, int] = {}
+        self._id_to_name: List[str] = []
+        if names is not None:
+            for name in names:
+                self.add(name)
+
+    def add(self, name: str) -> int:
+        """Register ``name`` (idempotent) and return its id."""
+        existing = self._name_to_id.get(name)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_name)
+        self._name_to_id[name] = new_id
+        self._id_to_name.append(name)
+        return new_id
+
+    def id_of(self, name: str) -> int:
+        return self._name_to_id[name]
+
+    def name_of(self, idx: int) -> str:
+        return self._id_to_name[idx]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._name_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_name)
+
+    def names(self) -> Sequence[str]:
+        return tuple(self._id_to_name)
+
+    def __repr__(self) -> str:
+        return f"Vocabulary({len(self)} names)"

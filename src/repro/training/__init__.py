@@ -1,0 +1,16 @@
+"""``repro.training`` — offline trainer, online protocol, batching."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .context import (PHASES, HistoryContext, TimestepBatch,
+                      iter_timestep_batches)
+from .online import OnlineConfig, evaluate_online
+from .trainer import (TrainConfig, Trainer, TrainResult,
+                      export_history, load_history)
+
+__all__ = [
+    "HistoryContext", "TimestepBatch", "iter_timestep_batches", "PHASES",
+    "Trainer", "TrainConfig", "TrainResult",
+    "export_history", "load_history",
+    "OnlineConfig", "evaluate_online",
+    "save_checkpoint", "load_checkpoint",
+]

@@ -1,0 +1,41 @@
+"""Checkpointing model weights to .npz archives."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..nn import Module
+
+
+def save_checkpoint(model: Module, path: str,
+                    metadata: Optional[Dict[str, Any]] = None) -> None:
+    """Persist a model's parameters (and optional JSON metadata) to disk.
+
+    The archive stores each named parameter as an array plus a reserved
+    ``__metadata__`` JSON blob, so checkpoints are portable and inspectable
+    with plain numpy.
+    """
+    state = model.state_dict()
+    if "__metadata__" in state:
+        raise ValueError("parameter name __metadata__ is reserved")
+    payload = dict(state)
+    payload["__metadata__"] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez(path if path.endswith(".npz") else path + ".npz", **payload)
+
+
+def load_checkpoint(model: Module, path: str) -> Dict[str, Any]:
+    """Load parameters into ``model`` in place; returns the metadata."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        metadata = json.loads(bytes(archive["__metadata__"]).decode("utf-8"))
+        state = {name: archive[name] for name in archive.files
+                 if name != "__metadata__"}
+    model.load_state_dict(state)
+    return metadata

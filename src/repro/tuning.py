@@ -1,0 +1,95 @@
+"""Hyperparameter grid search over validation MRR.
+
+A deliberately small utility: expand a grid of config overrides, train
+each candidate with a shared budget, rank by validation MRR, and return
+the trace.  The Fig. 8/9 sensitivity benches are one-dimensional
+instances of this; users tuning LogCL on their own data get the general
+form.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+from .interface import ExtrapolationModel
+from .tkg.dataset import TKGDataset
+from .training import TrainConfig, Trainer
+
+ModelBuilder = Callable[[Dict[str, Any]], ExtrapolationModel]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One grid point: the overrides tried and what they achieved."""
+
+    overrides: Dict[str, Any]
+    valid_mrr: float
+    test_metrics: Optional[Dict[str, float]]
+    seconds: float
+
+
+@dataclass
+class SearchResult:
+    """All trials, best first."""
+
+    trials: List[TrialResult] = field(default_factory=list)
+
+    @property
+    def best(self) -> TrialResult:
+        if not self.trials:
+            raise ValueError("no trials were run")
+        return self.trials[0]
+
+    def as_rows(self) -> List[Dict[str, Any]]:
+        return [{"overrides": t.overrides, "valid_mrr": t.valid_mrr,
+                 "seconds": t.seconds} for t in self.trials]
+
+
+def expand_grid(grid: Mapping[str, Iterable[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of a {param: values} mapping, in stable order."""
+    if not grid:
+        return [{}]
+    keys = sorted(grid)
+    combos = itertools.product(*(list(grid[k]) for k in keys))
+    return [dict(zip(keys, combo)) for combo in combos]
+
+
+def grid_search(build_model: ModelBuilder, dataset: TKGDataset,
+                grid: Mapping[str, Iterable[Any]],
+                train_config: TrainConfig = TrainConfig(),
+                evaluate_test: bool = False,
+                verbose: bool = False) -> SearchResult:
+    """Train one model per grid point and rank by validation MRR.
+
+    Parameters
+    ----------
+    build_model:
+        Callable receiving one override dict and returning a fresh model
+        (e.g. ``lambda o: LogCL(base_config.variant(**o), n_ent, n_rel)``).
+    grid:
+        ``{parameter: iterable of values}``; the cartesian product is
+        searched exhaustively.
+    evaluate_test:
+        Also evaluate each candidate on the test split (for reporting —
+        selection always uses validation).
+    """
+    trainer = Trainer(train_config)
+    trials: List[TrialResult] = []
+    for overrides in expand_grid(grid):
+        started = time.time()
+        model = build_model(dict(overrides))
+        fit = trainer.fit(model, dataset)
+        test_metrics = trainer.test(model, dataset) if evaluate_test else None
+        trial = TrialResult(overrides=dict(overrides),
+                            valid_mrr=fit.best_valid_mrr,
+                            test_metrics=test_metrics,
+                            seconds=time.time() - started)
+        trials.append(trial)
+        if verbose:
+            print(f"grid {overrides} -> valid MRR {trial.valid_mrr:.2f} "
+                  f"({trial.seconds:.0f}s)")
+    trials.sort(key=lambda t: -t.valid_mrr)
+    return SearchResult(trials=trials)

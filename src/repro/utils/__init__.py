@@ -1,0 +1,6 @@
+"""Shared utilities: seeding, gradient checking, logging."""
+
+from .seeding import seeded_rng, spawn_rngs
+from .gradcheck import check_gradients, numerical_gradient
+
+__all__ = ["seeded_rng", "spawn_rngs", "check_gradients", "numerical_gradient"]

@@ -1,0 +1,27 @@
+"""Deterministic RNG plumbing.
+
+All stochastic components (initializers, dropout, data generators, noise
+injection) take explicit ``numpy.random.Generator`` objects created here,
+so experiments are reproducible end-to-end from a single integer seed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def seeded_rng(seed: int) -> np.random.Generator:
+    """Create a PCG64 generator from an integer seed."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from one seed.
+
+    Uses ``SeedSequence.spawn`` so streams don't collide even when model
+    code draws different numbers of variates per component.
+    """
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

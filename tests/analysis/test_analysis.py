@@ -1,0 +1,132 @@
+"""Tests for dataset statistics and per-pattern breakdowns."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (compute_statistics, format_pattern_table,
+                            format_statistics_table, label_of_record,
+                            per_pattern_metrics)
+from repro.datasets import tiny
+from repro.eval import evaluate
+from repro.eval.protocol import QueryRecord
+from repro.registry import build_model
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny()
+
+
+class TestStatistics:
+    def test_counts_match_dataset(self, dataset):
+        stats = compute_statistics(dataset)
+        assert stats.num_train == len(dataset.train)
+        assert stats.num_test == len(dataset.test)
+        assert stats.num_entities == dataset.num_entities
+
+    def test_rates_are_probabilities(self, dataset):
+        stats = compute_statistics(dataset)
+        for value in (stats.repetition_rate, stats.history_coverage,
+                      stats.subject_recurrence):
+            assert 0.0 <= value <= 1.0
+
+    def test_ambiguity_above_one(self, dataset):
+        """Contested patterns guarantee several historical answers per
+        query on average — the anti-static-memorization property."""
+        stats = compute_statistics(dataset)
+        assert stats.static_ambiguity > 1.5
+
+    def test_format_table(self, dataset):
+        lines = format_statistics_table([compute_statistics(dataset)])
+        assert len(lines) == 2
+        assert dataset.name in lines[1]
+
+    def test_as_dict(self, dataset):
+        d = compute_statistics(dataset).as_dict()
+        assert d["num_entities"] == dataset.num_entities
+
+
+class TestProvenance:
+    def test_generator_tags_all_facts(self, dataset):
+        assert dataset.provenance is not None
+        for s, r, o, t in dataset.test.array[:50]:
+            assert (s, r, o, t) in dataset.provenance
+
+    def test_labels_are_known_patterns(self, dataset):
+        labels = set(dataset.provenance.values())
+        assert labels <= {"markov", "drift", "transfer", "periodic",
+                          "sparse", "storyline", "noise"}
+        assert "markov" in labels and "drift" in labels
+
+    def test_label_of_inverse_record(self, dataset):
+        s, r, o, t = (int(v) for v in dataset.test.array[0])
+        forward = QueryRecord(subject=s, relation=r, gold_object=o,
+                              time=t, phase="forward", rank=1)
+        inverse = QueryRecord(subject=o, relation=r + dataset.num_relations,
+                              gold_object=s, time=t, phase="inverse", rank=1)
+        assert label_of_record(forward, dataset) == \
+            label_of_record(inverse, dataset)
+
+
+class TestPerPatternMetrics:
+    def test_breakdown_covers_all_queries(self, dataset):
+        model = build_model("distmult", dataset, dim=8)
+        records = []
+        metrics = evaluate(model, dataset, "test", window=2, records=records)
+        assert len(records) == metrics["count"]
+        breakdown = per_pattern_metrics(records, dataset)
+        total = sum(int(m["count"]) for m in breakdown.values())
+        assert total == len(records)
+
+    def test_breakdown_unknown_bucket_when_no_provenance(self, dataset):
+        record = QueryRecord(subject=0, relation=0, gold_object=0,
+                             time=999, phase="forward", rank=3)
+        breakdown = per_pattern_metrics([record], dataset)
+        assert "unknown" in breakdown
+
+    def test_format_pattern_table(self, dataset):
+        record = QueryRecord(subject=0, relation=0, gold_object=0,
+                             time=999, phase="forward", rank=3)
+        lines = format_pattern_table(per_pattern_metrics([record], dataset))
+        assert any("unknown" in line for line in lines)
+
+
+class TestAttentionInspection:
+    def test_weights_sum_to_one(self, dataset):
+        from repro import LogCL, LogCLConfig
+        from repro.analysis import snapshot_attention
+        from repro.training import HistoryContext, iter_timestep_batches
+        model = LogCL(LogCLConfig(dim=16, window=3, decoder_kernels=8),
+                      dataset.num_entities, dataset.num_relations)
+        model.eval()
+        ctx = HistoryContext(dataset, window=3)
+        batches = iter_timestep_batches(dataset, "valid", ctx)
+        batch = next(batches)
+        weights = snapshot_attention(model, batch)
+        assert set(weights) == set(int(s) for s in batch.subjects)
+        for alpha in weights.values():
+            assert len(alpha) == len(batch.snapshots)
+            assert abs(alpha.sum() - 1.0) < 1e-5
+
+    def test_requires_attention_enabled(self, dataset):
+        from repro import LogCL, LogCLConfig
+        from repro.analysis import snapshot_attention
+        from repro.training import HistoryContext, iter_timestep_batches
+        model = LogCL(LogCLConfig(dim=16, window=3, decoder_kernels=8,
+                                  use_entity_attention=False),
+                      dataset.num_entities, dataset.num_relations)
+        ctx = HistoryContext(dataset, window=3)
+        batch = next(iter_timestep_batches(dataset, "valid", ctx))
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            snapshot_attention(model, batch)
+
+    def test_entropy_and_report(self, dataset):
+        from repro.analysis import (attention_entropy,
+                                    format_attention_report)
+        import numpy as _np
+        weights = {3: _np.array([0.5, 0.5]), 7: _np.array([1.0, 0.0])}
+        entropy = attention_entropy(weights)
+        assert entropy[3] > entropy[7]
+        report = format_attention_report(weights)
+        assert any("3" in line for line in report)

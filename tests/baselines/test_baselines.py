@@ -1,0 +1,225 @@
+"""Contract and behaviour tests for all re-implemented baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (CEN, CENET, ComplEx, ConvE, CyGNet, DistMult,
+                             REGCN, RotatE, TiRGN, TTransE)
+from repro.datasets import tiny
+from repro.nn import Adam
+from repro.registry import MODEL_FAMILIES, build_model, model_names, register_model
+from repro.training import HistoryContext, iter_timestep_batches
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny()
+
+
+@pytest.fixture(scope="module")
+def context(dataset):
+    return HistoryContext(dataset, window=2)
+
+
+def get_batch(dataset, context, skip=0):
+    context.reset()
+    it = iter_timestep_batches(dataset, "train", context)
+    for _ in range(skip):
+        next(it)
+    return next(it)
+
+
+ALL_MODELS = sorted(set(model_names()) - {"logcl"})
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+class TestBaselineContract:
+    def test_loss_finite_and_backpropagates(self, dataset, context, name):
+        model = build_model(name, dataset, dim=16)
+        batch = get_batch(dataset, context, skip=4)
+        loss = model.loss_on(batch)
+        assert np.isfinite(float(loss.data))
+        loss.backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert grads, f"{name}: no parameter received a gradient"
+
+    def test_predict_shape_and_finite(self, dataset, context, name):
+        model = build_model(name, dataset, dim=16)
+        model.eval()
+        batch = get_batch(dataset, context, skip=4)
+        scores = model.predict_on(batch)
+        assert scores.shape == (len(batch), dataset.num_entities)
+        assert np.isfinite(scores).all()
+
+    def test_one_step_reduces_loss(self, dataset, context, name):
+        model = build_model(name, dataset, dim=16)
+        model.eval()  # kill dropout so the comparison is exact
+        batch = get_batch(dataset, context, skip=4)
+        before = float(model.loss_on(batch).data)
+        opt = Adam(model.parameters(), lr=5e-3)
+        for _ in range(5):
+            opt.zero_grad()
+            model.loss_on(batch).backward()
+            opt.step()
+        after = float(model.loss_on(batch).data)
+        assert after < before
+
+    def test_noise_hook_perturbs(self, dataset, context, name):
+        model = build_model(name, dataset, dim=16)
+        model.eval()
+        batch = get_batch(dataset, context, skip=4)
+        clean = model.predict_on(batch)
+        model.input_noise_std = 3.0
+        noisy = model.predict_on(batch)
+        assert not np.allclose(clean, noisy)
+
+
+class TestSpecificBehaviours:
+    def test_complex_requires_even_dim(self, dataset):
+        with pytest.raises(ValueError):
+            ComplEx(10, 4, dim=15)
+
+    def test_rotate_requires_even_dim(self):
+        with pytest.raises(ValueError):
+            RotatE(10, 4, dim=15)
+
+    def test_conve_grid_validation(self):
+        with pytest.raises(ValueError):
+            ConvE(10, 4, dim=18, grid_height=4)  # 18 % 4 != 0
+
+    def test_cen_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            CEN(10, 4, dim=16, lengths=())
+
+    def test_tirgn_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            TiRGN(10, 4, dim=16, history_weight=2.0)
+
+    def test_cygnet_copies_historical_answers(self, dataset, context):
+        """The copy mode must put positive mass exactly on historical
+        answers of each query."""
+        model = CyGNet(dataset.num_entities, dataset.num_relations, dim=16)
+        batch = get_batch(dataset, context, skip=10)
+        copy = model._copy_scores(batch)
+        index = batch.history_index
+        for row, (s, r) in enumerate(zip(batch.subjects, batch.relations)):
+            answers = index.historical_answers(int(s), int(r))
+            nonzero = set(np.flatnonzero(copy[row]).tolist())
+            assert nonzero == answers
+
+    def test_tirgn_history_mask_matches_index(self, dataset, context):
+        model = TiRGN(dataset.num_entities, dataset.num_relations, dim=16)
+        batch = get_batch(dataset, context, skip=10)
+        mask = model._history_mask(batch)
+        index = batch.history_index
+        row = 0
+        answers = index.historical_answers(int(batch.subjects[row]),
+                                           int(batch.relations[row]))
+        assert set(np.flatnonzero(mask[row]).tolist()) == answers
+
+    def test_ttranse_clamps_unseen_timestamps(self, dataset, context):
+        model = TTransE(dataset.num_entities, dataset.num_relations, dim=16,
+                        num_timestamps=dataset.num_timestamps)
+        model.train()
+        batch = get_batch(dataset, context, skip=4)
+        model.score_batch(batch)  # records max trained time
+        rows = model._time_rows(dataset.num_timestamps + 50, 3)
+        assert rows.max() <= model.max_trained_time
+
+    def test_cenet_contrast_needs_both_classes(self, dataset, context):
+        model = CENET(dataset.num_entities, dataset.num_relations, dim=16)
+        batch = get_batch(dataset, context, skip=10)
+        # With an untouched batch the loss path must not crash either way.
+        loss = model.loss_on(batch)
+        assert np.isfinite(float(loss.data))
+
+    def test_regcn_uses_history(self, dataset, context):
+        """RE-GCN predictions must change when history changes; static
+        models must not."""
+        regcn = REGCN(dataset.num_entities, dataset.num_relations, dim=16)
+        dm = DistMult(dataset.num_entities, dataset.num_relations, dim=16)
+        regcn.eval(); dm.eval()
+        early = get_batch(dataset, context, skip=2)
+        late = get_batch(dataset, context, skip=20)
+        # same queries evaluated under two different histories
+        late.subjects, late.relations = early.subjects, early.relations
+        assert not np.allclose(regcn.predict_on(early), regcn.predict_on(late))
+        np.testing.assert_allclose(dm.predict_on(early), dm.predict_on(late))
+
+
+class TestRegistry:
+    def test_all_families_present(self):
+        families = set(MODEL_FAMILIES[n] for n in model_names())
+        assert {"static", "interpolation", "extrapolation"} <= families
+
+    def test_unknown_model(self, dataset):
+        with pytest.raises(KeyError):
+            build_model("transformer-9000", dataset)
+
+    def test_register_custom_model(self, dataset):
+        register_model("custom-distmult",
+                       lambda ds, **kw: DistMult(ds.num_entities,
+                                                 ds.num_relations, 8))
+        try:
+            model = build_model("custom-distmult", dataset)
+            assert model.dim == 8
+            with pytest.raises(ValueError):
+                register_model("custom-distmult", lambda ds, **kw: None)
+        finally:
+            from repro import registry
+            registry._REGISTRY.pop("custom-distmult")
+            registry.MODEL_FAMILIES.pop("custom-distmult")
+
+
+class TestNewBaselineBehaviours:
+    def test_xerte_mass_lands_on_neighbors(self, dataset, context):
+        """1-hop propagation must put mass exactly on window neighbors
+        of each query subject."""
+        from repro.baselines import XERTE
+        import numpy as np
+        model = XERTE(dataset.num_entities, dataset.num_relations, dim=16)
+        model.eval()
+        batch = get_batch(dataset, context, skip=8)
+        src, rel, dst = model._window_edges(batch)
+        scores = model.predict_on(batch)
+        # pick the first query; its subject's window-neighbors:
+        s = int(batch.subjects[0])
+        neighbors = set(dst[src == s].tolist())
+        if neighbors:
+            neighbor_scores = scores[0, sorted(neighbors)]
+            other = np.delete(scores[0], sorted(neighbors))
+            # propagation mass makes neighbor scores larger on average
+            assert neighbor_scores.mean() > other.mean()
+
+    def test_xerte_empty_history_falls_back_to_prior(self, dataset):
+        from repro.baselines import XERTE
+        from repro.training import HistoryContext, iter_timestep_batches
+        import numpy as np
+        model = XERTE(dataset.num_entities, dataset.num_relations, dim=16)
+        model.eval()
+        ctx = HistoryContext(dataset, window=2)
+        batch = next(iter_timestep_batches(dataset, "train", ctx,
+                                           min_history=0))
+        if batch.time == 0:  # no history at t=0
+            scores = model.predict_on(batch)
+            assert np.isfinite(scores).all()
+
+    def test_hismatch_candidate_branch_uses_history(self, dataset, context):
+        from repro.baselines import HisMatch
+        import numpy as np
+        model = HisMatch(dataset.num_entities, dataset.num_relations, dim=16)
+        model.eval()
+        early = get_batch(dataset, context, skip=2)
+        late = get_batch(dataset, context, skip=20)
+        late.subjects, late.relations = early.subjects, early.relations
+        assert not np.allclose(model.predict_on(early),
+                               model.predict_on(late))
+
+    def test_ght_respects_window_cap(self, dataset, context):
+        from repro.baselines import GHT
+        model = GHT(dataset.num_entities, dataset.num_relations, dim=16,
+                    max_window=2)
+        model.eval()
+        batch = get_batch(dataset, context, skip=8)
+        seq = model._history_sequence(batch, model.entities())
+        assert seq.shape[1] <= 2

@@ -1,0 +1,81 @@
+"""Behaviour tests specific to the temporal-embedding baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DESimplE, TADistMult, TNTComplEx
+from repro.datasets import tiny
+from repro.training import HistoryContext, iter_timestep_batches
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny()
+
+
+def batches(dataset, split="train"):
+    ctx = HistoryContext(dataset, window=2)
+    ctx.reset()
+    return iter_timestep_batches(dataset, split, ctx)
+
+
+class TestTimeClamping:
+    @pytest.mark.parametrize("cls", [TADistMult, DESimplE, TNTComplEx])
+    def test_unseen_timestamps_clamped(self, dataset, cls):
+        model = cls(dataset.num_entities, dataset.num_relations, dim=16,
+                    num_timestamps=dataset.num_timestamps)
+        model.train()
+        batch = next(batches(dataset))
+        model.score_batch(batch)
+        assert model.max_trained_time == batch.time
+        model.eval()
+        assert model._effective_time(dataset.num_timestamps + 100) == \
+            model.max_trained_time
+
+    def test_training_does_not_clamp_forward(self, dataset):
+        model = TADistMult(dataset.num_entities, dataset.num_relations,
+                           dim=16, num_timestamps=dataset.num_timestamps)
+        model.train()
+        assert model._effective_time(7) == 7
+        assert model.max_trained_time == 7
+
+
+class TestTimeDependence:
+    def test_ta_distmult_scores_vary_with_time(self, dataset):
+        model = TADistMult(dataset.num_entities, dataset.num_relations,
+                           dim=16, num_timestamps=dataset.num_timestamps)
+        model.train()
+        it = batches(dataset)
+        first = next(it)
+        scores_a = model.score_batch(first).data
+        later = next(b for b in it if b.time != first.time)
+        later.subjects, later.relations = first.subjects, first.relations
+        scores_b = model.score_batch(later).data
+        assert not np.allclose(scores_a, scores_b)
+
+    def test_de_simple_diachronic_drift(self, dataset):
+        model = DESimplE(dataset.num_entities, dataset.num_relations,
+                         dim=16, num_timestamps=dataset.num_timestamps)
+        a = model._diachronic(0).data
+        b = model._diachronic(10).data
+        # temporal half drifts, static half is untouched
+        k = model.temporal_dims
+        assert not np.allclose(a[:, :k], b[:, :k])
+        np.testing.assert_array_equal(a[:, k:], b[:, k:])
+
+    def test_de_simple_fraction_validation(self, dataset):
+        with pytest.raises(ValueError):
+            DESimplE(10, 4, dim=16, num_timestamps=5, temporal_fraction=0.0)
+
+    def test_tntcomplex_requires_even_dim(self):
+        with pytest.raises(ValueError):
+            TNTComplEx(10, 4, dim=15, num_timestamps=5)
+
+    def test_tntcomplex_static_component_contributes(self, dataset):
+        model = TNTComplEx(dataset.num_entities, dataset.num_relations,
+                           dim=16, num_timestamps=dataset.num_timestamps)
+        batch = next(batches(dataset))
+        base = model.score_batch(batch).data
+        model.relation_static.weight.data[:] = 0.0
+        without_static = model.score_batch(batch).data
+        assert not np.allclose(base, without_static)

@@ -1,0 +1,226 @@
+"""Model-level tests for LogCL: config validation, ablation variants,
+learning behaviour, prediction APIs and the noise hook."""
+
+import numpy as np
+import pytest
+
+from repro import LogCL, LogCLConfig
+from repro.core.model import _multihot_labels
+from repro.datasets import tiny
+from repro.training import HistoryContext, iter_timestep_batches
+from repro.nn import Adam
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny()
+
+
+@pytest.fixture(scope="module")
+def context(dataset):
+    ctx = HistoryContext(dataset, window=2)
+    return ctx
+
+
+def small_config(**kw):
+    defaults = dict(dim=16, time_dim=4, window=2, local_layers=1,
+                    global_layers=1, decoder_kernels=8, seed=0)
+    defaults.update(kw)
+    return LogCLConfig(**defaults)
+
+
+def first_batch(dataset, context):
+    context.reset()
+    return next(iter_timestep_batches(dataset, "train", context))
+
+
+class TestConfig:
+    def test_requires_some_encoder(self):
+        with pytest.raises(ValueError):
+            LogCLConfig(use_local=False, use_global=False).validate()
+
+    def test_lambda_range(self):
+        with pytest.raises(ValueError):
+            LogCLConfig(fusion_lambda=1.5).validate()
+
+    def test_temperature_positive(self):
+        with pytest.raises(ValueError):
+            LogCLConfig(temperature=-1).validate()
+
+    def test_window_positive(self):
+        with pytest.raises(ValueError):
+            LogCLConfig(window=0).validate()
+
+    def test_variant_replaces_fields(self):
+        cfg = small_config()
+        ablated = cfg.variant(use_contrast=False)
+        assert not ablated.use_contrast
+        assert cfg.use_contrast  # original untouched (frozen dataclass)
+
+
+class TestVariants:
+    @pytest.mark.parametrize("kw", [
+        {},                                        # full model
+        {"use_local": False},                      # LogCL-G
+        {"use_global": False},                     # LogCL-L
+        {"use_entity_attention": False},           # -w/o-eatt
+        {"use_contrast": False},                   # -w/o-cl
+        {"use_local": False, "use_entity_attention": False},
+        {"use_global": False, "use_entity_attention": False},
+        {"contrast_strategies": ("lg",)},
+        {"aggregator": "compgcn-sub"},
+        {"aggregator": "kbgat"},
+    ])
+    def test_variant_runs_loss_and_predict(self, dataset, context, kw):
+        model = LogCL(small_config(**kw), dataset.num_entities,
+                      dataset.num_relations)
+        batch = first_batch(dataset, context)
+        loss = model.loss_on(batch)
+        assert np.isfinite(float(loss.data))
+        loss.backward()
+        scores = model.predict_on(batch)
+        assert scores.shape == (len(batch), dataset.num_entities)
+        assert np.isfinite(scores).all()
+
+    def test_contrast_module_absent_without_both_encoders(self, dataset):
+        model = LogCL(small_config(use_local=False), dataset.num_entities,
+                      dataset.num_relations)
+        assert model.contrast is None
+
+    def test_contrast_adds_to_loss(self, dataset, context):
+        batch = first_batch(dataset, context)
+        with_cl = LogCL(small_config(), dataset.num_entities,
+                        dataset.num_relations)
+        without = LogCL(small_config(use_contrast=False),
+                        dataset.num_entities, dataset.num_relations)
+        without.load_state_dict(
+            {k: v for k, v in with_cl.state_dict().items()
+             if not k.startswith("contrast")})
+        with_cl.eval(); without.eval()
+        l_with = float(with_cl.loss_on(batch).data)
+        l_without = float(without.loss_on(batch).data)
+        assert l_with != l_without  # contrast term contributes
+
+
+class TestLearning:
+    def test_loss_decreases_with_training(self, dataset):
+        model = LogCL(small_config(), dataset.num_entities,
+                      dataset.num_relations)
+        ctx = HistoryContext(dataset, window=2)
+        opt = Adam(model.parameters(), lr=1e-3)
+        losses = []
+        for _ in range(3):
+            ctx.reset()
+            epoch = []
+            for batch in iter_timestep_batches(dataset, "train", ctx):
+                opt.zero_grad()
+                loss = model.loss_on(batch)
+                loss.backward()
+                opt.step()
+                epoch.append(float(loss.data))
+            losses.append(np.mean(epoch))
+        assert losses[-1] < losses[0]
+
+    def test_all_parameters_receive_gradients(self, dataset, context):
+        model = LogCL(small_config(), dataset.num_entities,
+                      dataset.num_relations)
+        batch = first_batch(dataset, context)
+        model.loss_on(batch).backward()
+        missing = [name for name, p in model.named_parameters()
+                   if p.grad is None]
+        assert missing == [], f"parameters without gradients: {missing}"
+
+
+class TestPrediction:
+    def test_predict_topk(self, dataset, context):
+        model = LogCL(small_config(), dataset.num_entities,
+                      dataset.num_relations)
+        batch = first_batch(dataset, context)
+        top = model.predict_topk(batch.snapshots, batch.time, 0, 0,
+                                 batch.global_edges, k=5)
+        assert len(top) == 5
+        probs = [p for _, p in top]
+        assert probs == sorted(probs, reverse=True)
+        assert all(0 <= p <= 1 for p in probs)
+
+    def test_predict_builds_no_graph(self, dataset, context):
+        model = LogCL(small_config(), dataset.num_entities,
+                      dataset.num_relations)
+        batch = first_batch(dataset, context)
+        scores = model.predict_on(batch)
+        assert isinstance(scores, np.ndarray)
+
+    def test_state_dict_roundtrip_preserves_predictions(self, dataset, context):
+        model_a = LogCL(small_config(seed=0), dataset.num_entities,
+                        dataset.num_relations)
+        model_b = LogCL(small_config(seed=99), dataset.num_entities,
+                        dataset.num_relations)
+        model_b.load_state_dict(model_a.state_dict())
+        model_a.eval(); model_b.eval()
+        batch = first_batch(dataset, context)
+        np.testing.assert_allclose(model_a.predict_on(batch),
+                                   model_b.predict_on(batch), atol=1e-6)
+
+
+class TestNoiseHook:
+    def test_noise_changes_predictions(self, dataset, context):
+        model = LogCL(small_config(), dataset.num_entities,
+                      dataset.num_relations)
+        model.eval()
+        batch = first_batch(dataset, context)
+        clean = model.predict_on(batch)
+        model.input_noise_std = 2.0
+        noisy = model.predict_on(batch)
+        model.input_noise_std = 0.0
+        restored = model.predict_on(batch)
+        assert not np.allclose(clean, noisy)
+        np.testing.assert_allclose(clean, restored, atol=1e-6)
+
+
+class TestLabels:
+    def test_multihot_marks_all_objects_of_same_query(self):
+        subjects = np.array([0, 0, 1])
+        relations = np.array([0, 0, 1])
+        objects = np.array([2, 3, 4])
+        labels = _multihot_labels(subjects, relations, objects, 6)
+        # both rows of query (0,0) mark objects {2,3}
+        np.testing.assert_array_equal(labels[0], labels[1])
+        assert labels[0, 2] == 1 and labels[0, 3] == 1 and labels[0, 4] == 0
+        assert labels[2, 4] == 1 and labels[2].sum() == 1
+
+
+class TestStaticGraph:
+    def test_requires_static_facts(self, dataset):
+        with pytest.raises(ValueError):
+            LogCL(small_config(use_static_graph=True),
+                  dataset.num_entities, dataset.num_relations)
+
+    def test_static_graph_changes_predictions(self, dataset, context):
+        batch = first_batch(dataset, context)
+        plain = LogCL(small_config(), dataset.num_entities,
+                      dataset.num_relations)
+        static = LogCL(small_config(use_static_graph=True),
+                       dataset.num_entities, dataset.num_relations,
+                       static_facts=dataset.static_facts)
+        # share all overlapping weights so only the static layer differs
+        shared = {k: v for k, v in plain.state_dict().items()}
+        static.load_state_dict({**static.state_dict(), **shared})
+        plain.eval(); static.eval()
+        assert not np.allclose(plain.predict_on(batch),
+                               static.predict_on(batch))
+
+    def test_static_graph_trains(self, dataset, context):
+        model = LogCL(small_config(use_static_graph=True),
+                      dataset.num_entities, dataset.num_relations,
+                      static_facts=dataset.static_facts)
+        batch = first_batch(dataset, context)
+        model.loss_on(batch).backward()
+        grads = [p.grad is not None for _, p in model.named_parameters()
+                 if _.startswith("static_encoder")]
+        assert grads and all(grads)
+
+    def test_static_encoder_rejects_bad_shape(self):
+        from repro.core.static_graph import StaticGraphEncoder
+        from repro.utils.seeding import seeded_rng
+        with pytest.raises(ValueError):
+            StaticGraphEncoder(8, np.zeros((4, 2)), seeded_rng(0))

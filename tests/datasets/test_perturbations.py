@@ -1,0 +1,85 @@
+"""Tests for dataset-level perturbations."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (corrupt_facts, drop_facts, shuffle_times, tiny)
+from repro.utils.seeding import seeded_rng
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny()
+
+
+class TestDropFacts:
+    def test_drops_about_fraction(self, dataset):
+        out = drop_facts(dataset, 0.3, seeded_rng(0))
+        ratio = len(out.train) / len(dataset.train)
+        assert 0.6 < ratio < 0.8
+
+    def test_eval_splits_untouched(self, dataset):
+        out = drop_facts(dataset, 0.5, seeded_rng(0))
+        assert out.valid == dataset.valid and out.test == dataset.test
+
+    def test_rejects_full_drop(self, dataset):
+        with pytest.raises(ValueError):
+            drop_facts(dataset, 1.0, seeded_rng(0))
+
+    def test_zero_is_identity(self, dataset):
+        out = drop_facts(dataset, 0.0, seeded_rng(0))
+        assert out.train == dataset.train
+
+
+class TestCorruptFacts:
+    def test_corrupts_objects_only(self, dataset):
+        out = corrupt_facts(dataset, 0.5, seeded_rng(0))
+        a, b = dataset.train.array, out.train.array
+        assert len(a) == len(b)
+        # subjects/relations/times columns as multisets are unchanged
+        for col in (0, 1, 3):
+            np.testing.assert_array_equal(np.sort(a[:, col]),
+                                          np.sort(b[:, col]))
+        assert not np.array_equal(np.sort(a[:, 2]), np.sort(b[:, 2]))
+
+    def test_rejects_bad_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            corrupt_facts(dataset, 1.5, seeded_rng(0))
+
+    def test_corruption_degrades_training(self, dataset):
+        """A model trained on heavily corrupted data must do worse."""
+        from repro import TrainConfig, Trainer
+        from repro.registry import build_model
+
+        def score(ds):
+            model = build_model("distmult", ds, dim=16)
+            trainer = Trainer(TrainConfig(epochs=4, lr=2e-3,
+                                          eval_every=2, window=2))
+            trainer.fit(model, ds)
+            return trainer.test(model, ds)["mrr"]
+
+        clean = score(dataset)
+        noisy = score(corrupt_facts(dataset, 0.8, seeded_rng(0)))
+        assert noisy < clean
+
+
+class TestShuffleTimes:
+    def test_jitter_bounded(self, dataset):
+        out = shuffle_times(dataset, 2, seeded_rng(0))
+        a = dataset.train.array
+        b = out.train.array
+        assert len(a) == len(b)
+        assert b[:, 3].min() >= a[:, 3].min()
+        assert b[:, 3].max() <= a[:, 3].max()
+
+    def test_zero_window_is_identity(self, dataset):
+        out = shuffle_times(dataset, 0, seeded_rng(0))
+        assert out.train == dataset.train
+
+    def test_negative_window_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            shuffle_times(dataset, -1, seeded_rng(0))
+
+    def test_split_chronology_preserved(self, dataset):
+        out = shuffle_times(dataset, 5, seeded_rng(0))
+        assert out.train.times.max() < out.valid.times.min()

@@ -1,0 +1,69 @@
+"""End-to-end tests for the CLI (`python -m repro ...`)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListAndStats:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "logcl" in out and "tiny" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny" in out and "rep%" in out
+
+    def test_stats_json(self, capsys):
+        assert main(["stats", "tiny", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["tiny"]["num_entities"] == 60
+
+
+class TestGenerate:
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        target = str(tmp_path / "data")
+        assert main(["generate", "--preset", "tiny", "--out", target]) == 0
+        assert (tmp_path / "data" / "train.txt").exists()
+        assert main(["stats", target]) == 0
+
+
+class TestTrainEvaluate:
+    def test_train_eval_noise_online_pipeline(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "model.npz")
+        assert main(["train", "--model", "distmult", "--dataset", "tiny",
+                     "--dim", "16", "--epochs", "2", "--eval-every", "1",
+                     "--quiet", "--out", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert "MRR" in out and "checkpoint written" in out
+
+        assert main(["evaluate", "--model", "distmult", "--dataset", "tiny",
+                     "--dim", "16", "--checkpoint", ckpt,
+                     "--per-pattern"]) == 0
+        out = capsys.readouterr().out
+        assert "MRR" in out and "pattern" in out
+
+        assert main(["noise", "--model", "distmult", "--dataset", "tiny",
+                     "--dim", "16", "--checkpoint", ckpt,
+                     "--sigmas", "0.0", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "relative MRR drop" in out
+
+    def test_evaluate_raw_filter(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "model.npz")
+        main(["train", "--model", "distmult", "--dataset", "tiny",
+              "--dim", "16", "--epochs", "1", "--eval-every", "1",
+              "--quiet", "--out", ckpt])
+        capsys.readouterr()
+        assert main(["evaluate", "--model", "distmult", "--dataset", "tiny",
+                     "--dim", "16", "--checkpoint", ckpt,
+                     "--filter", "raw", "--split", "valid"]) == 0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--model", "nope", "--dataset", "tiny"])

@@ -1,0 +1,110 @@
+"""Failure-injection tests: wrong shapes, corrupt data, misuse of APIs.
+
+A production library must fail loudly and early on bad input; these
+tests pin the error behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LogCL, LogCLConfig
+from repro.datasets import tiny
+from repro.registry import build_model
+from repro.tkg import QuadrupleSet, TKGDataset
+from repro.training import (HistoryContext, iter_timestep_batches,
+                            load_checkpoint, save_checkpoint)
+from repro.utils.gradcheck import check_gradients
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny()
+
+
+class TestModelMisuse:
+    def test_model_dataset_size_mismatch_fails_fast(self, dataset):
+        # Model built for a smaller vocabulary: queries index out of range.
+        model = build_model("distmult", TKGDataset(
+            "small", QuadrupleSet.from_quads([(0, 0, 1, 0)]),
+            QuadrupleSet.from_quads([(0, 0, 1, 1)]),
+            QuadrupleSet.from_quads([(0, 0, 1, 2)]),
+            num_entities=2, num_relations=1), dim=8)
+        ctx = HistoryContext(dataset, window=2)
+        batch = next(iter_timestep_batches(dataset, "train", ctx))
+        with pytest.raises(IndexError):
+            model.loss_on(batch)
+
+    def test_checkpoint_across_architectures_rejected(self, dataset, tmp_path):
+        small = LogCL(LogCLConfig(dim=16, window=2, decoder_kernels=8),
+                      dataset.num_entities, dataset.num_relations)
+        big = LogCL(LogCLConfig(dim=32, window=2, decoder_kernels=8),
+                    dataset.num_entities, dataset.num_relations)
+        save_checkpoint(small, str(tmp_path / "ckpt"))
+        with pytest.raises(ValueError):
+            load_checkpoint(big, str(tmp_path / "ckpt"))
+
+    def test_checkpoint_across_variants_rejected(self, dataset, tmp_path):
+        full = LogCL(LogCLConfig(dim=16, window=2, decoder_kernels=8),
+                     dataset.num_entities, dataset.num_relations)
+        ablated = LogCL(LogCLConfig(dim=16, window=2, decoder_kernels=8,
+                                    use_contrast=False),
+                        dataset.num_entities, dataset.num_relations)
+        save_checkpoint(full, str(tmp_path / "ckpt"))
+        with pytest.raises(KeyError):
+            load_checkpoint(ablated, str(tmp_path / "ckpt"))
+
+    def test_missing_checkpoint_file(self, dataset):
+        model = build_model("distmult", dataset, dim=8)
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(model, "/nonexistent/path/ckpt")
+
+
+class TestEvaluationMisuse:
+    def test_unknown_split_raises(self, dataset):
+        ctx = HistoryContext(dataset, window=2)
+        with pytest.raises(KeyError):
+            list(iter_timestep_batches(dataset, "holdout", ctx))
+
+    def test_history_context_backward_time_rejected(self, dataset):
+        ctx = HistoryContext(dataset, window=2)
+        ctx.global_edges(10, np.array([0]), np.array([0]))
+        with pytest.raises(ValueError):
+            ctx.global_index.advance_to(5)
+
+
+class TestGradcheckSelfTest:
+    def test_gradcheck_detects_wrong_gradient(self):
+        """The gradient checker must itself catch a broken backward."""
+        from repro.nn.tensor import Tensor as T
+
+        def buggy_double(t):
+            out = T._make(t.data * 2.0, (t,),
+                          lambda grad: t._accumulate(grad * 3.0))  # wrong!
+            return out.sum()
+
+        x = T(np.array([1.0, 2.0]), requires_grad=True)
+        with pytest.raises(AssertionError):
+            check_gradients(buggy_double, [x])
+
+    def test_gradcheck_requires_scalar(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        with pytest.raises(ValueError):
+            check_gradients(lambda t: t * 2, [x])
+
+
+class TestDataCorruption:
+    def test_nan_embeddings_surface_in_predictions(self, dataset):
+        model = build_model("distmult", dataset, dim=8)
+        model.entity_embedding.weight.data[0] = np.nan
+        ctx = HistoryContext(dataset, window=2)
+        batch = next(iter_timestep_batches(dataset, "train", ctx))
+        scores = model.predict_on(batch)
+        assert np.isnan(scores).any()  # NaNs propagate, never silently clipped
+
+    def test_negative_time_quadruples_rejected_by_split(self):
+        quads = QuadrupleSet.from_quads([(0, 0, 1, -5), (0, 0, 1, 0),
+                                         (0, 0, 1, 1), (0, 0, 1, 2)])
+        # negative timestamps are tolerated by storage but a dataset built
+        # from them keeps chronology
+        assert quads.times.min() == -5

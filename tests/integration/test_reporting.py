@@ -1,0 +1,86 @@
+"""Tests for the plain-text reporting helpers."""
+
+import pytest
+
+from repro.reporting import bar_chart, sparkline, sweep_chart, table
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_shape(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] < line[-1]  # block characters are ordinal
+
+    def test_constant_is_flat(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_pinned_scale(self):
+        a = sparkline([1, 2], low=0, high=10)
+        b = sparkline([1, 2])
+        assert a != b
+
+
+class TestBarChart:
+    def test_proportions(self):
+        lines = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_empty(self):
+        assert bar_chart({}) == []
+
+    def test_unit_suffix(self):
+        lines = bar_chart({"x": 1.0}, unit="%")
+        assert lines[0].endswith("1.00%")
+
+
+class TestTable:
+    def test_alignment_and_formatting(self):
+        lines = table(["name", "mrr"], [["logcl", 48.873], ["regcn", 40.4]])
+        assert "48.87" in lines[2]
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_mixed_types(self):
+        lines = table(["k", "v"], [["count", 3], ["rate", 0.5]])
+        assert "3" in lines[2] and "0.50" in lines[3]
+
+
+class TestSweepChart:
+    def test_structure(self):
+        lines = sweep_chart("lambda sweep", [0.0, 0.5, 1.0],
+                            {"logcl": [40.0, 45.0, 42.0]})
+        assert lines[0] == "lambda sweep"
+        assert "peak 45.00" in lines[2]
+
+
+class TestPackageSurface:
+    """Smoke checks that the public API surface imports and is coherent."""
+
+    def test_top_level_exports(self):
+        import repro
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        import repro
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+    def test_subpackage_alls_resolve(self):
+        import importlib
+        for module_name in ("repro.nn", "repro.tkg", "repro.datasets",
+                            "repro.graph", "repro.core", "repro.baselines",
+                            "repro.eval", "repro.training",
+                            "repro.robustness", "repro.analysis"):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_registry_families_complete(self):
+        from repro.registry import MODEL_FAMILIES, model_names
+        assert set(model_names()) == set(MODEL_FAMILIES)

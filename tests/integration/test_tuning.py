@@ -1,0 +1,52 @@
+"""Tests for the grid-search utility."""
+
+import pytest
+
+from repro import TrainConfig
+from repro.datasets import tiny
+from repro.registry import build_model
+from repro.tuning import SearchResult, TrialResult, expand_grid, grid_search
+
+
+class TestExpandGrid:
+    def test_empty_grid(self):
+        assert expand_grid({}) == [{}]
+
+    def test_cartesian_product(self):
+        combos = expand_grid({"a": [1, 2], "b": ["x"]})
+        assert combos == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+    def test_stable_order(self):
+        assert expand_grid({"b": [1], "a": [2]}) == [{"a": 2, "b": 1}]
+
+
+class TestGridSearch:
+    def test_ranks_by_validation(self):
+        dataset = tiny()
+
+        def builder(overrides):
+            return build_model("distmult", dataset, dim=overrides["dim"])
+
+        result = grid_search(builder, dataset, {"dim": [8, 16]},
+                             TrainConfig(epochs=2, eval_every=1, window=2))
+        assert len(result.trials) == 2
+        assert result.trials[0].valid_mrr >= result.trials[1].valid_mrr
+        assert result.best is result.trials[0]
+        assert set(result.best.overrides) == {"dim"}
+
+    def test_evaluate_test_optional(self):
+        dataset = tiny()
+        result = grid_search(
+            lambda o: build_model("distmult", dataset, dim=8),
+            dataset, {}, TrainConfig(epochs=1, eval_every=1, window=2),
+            evaluate_test=True)
+        assert result.best.test_metrics is not None
+        assert "mrr" in result.best.test_metrics
+
+    def test_empty_result_raises(self):
+        with pytest.raises(ValueError):
+            SearchResult().best
+
+    def test_as_rows(self):
+        res = SearchResult([TrialResult({"a": 1}, 10.0, None, 1.0)])
+        assert res.as_rows()[0]["valid_mrr"] == 10.0

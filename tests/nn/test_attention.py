@@ -1,0 +1,58 @@
+"""Tests for multi-head self-attention."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.attention import MultiHeadSelfAttention, causal_mask
+from repro.utils.seeding import seeded_rng
+
+
+def x(batch=2, seq=4, dim=8, seed=0):
+    return Tensor(seeded_rng(seed).standard_normal(
+        (batch, seq, dim)).astype(np.float32), requires_grad=True)
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self):
+        attn = MultiHeadSelfAttention(8, 2, seeded_rng(0))
+        assert attn(x()).shape == (2, 4, 8)
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(8, 3, seeded_rng(0))
+
+    def test_gradients_flow(self):
+        attn = MultiHeadSelfAttention(8, 2, seeded_rng(0))
+        inp = x()
+        (attn(inp) ** 2).sum().backward()
+        assert inp.grad is not None
+        for p in attn.parameters():
+            assert p.grad is not None
+
+    def test_causal_mask_blocks_future(self):
+        """With a causal mask, output at position 0 must not depend on
+        later positions."""
+        attn = MultiHeadSelfAttention(8, 2, seeded_rng(0))
+        base = x(seed=1)
+        perturbed = Tensor(base.data.copy())
+        perturbed.data[:, -1, :] += 10.0  # change only the LAST position
+        mask = causal_mask(4)
+        out_a = attn(base, mask=mask).data
+        out_b = attn(perturbed, mask=mask).data
+        np.testing.assert_allclose(out_a[:, 0], out_b[:, 0], atol=1e-5)
+        assert not np.allclose(out_a[:, -1], out_b[:, -1])
+
+    def test_without_mask_all_positions_interact(self):
+        attn = MultiHeadSelfAttention(8, 2, seeded_rng(0))
+        base = x(seed=1)
+        perturbed = Tensor(base.data.copy())
+        perturbed.data[:, -1, :] += 10.0
+        out_a = attn(base).data
+        out_b = attn(perturbed).data
+        assert not np.allclose(out_a[:, 0], out_b[:, 0])
+
+    def test_causal_mask_values(self):
+        mask = causal_mask(3)
+        assert mask[0, 1] < -1e8 and mask[0, 2] < -1e8
+        assert mask[1, 0] == 0.0 and mask[2, 2] == 0.0

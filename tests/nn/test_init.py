@@ -1,0 +1,59 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init as weight_init
+from repro.utils.seeding import seeded_rng, spawn_rngs
+
+
+class TestInitializers:
+    def test_xavier_uniform_bound(self):
+        rng = seeded_rng(0)
+        w = weight_init.xavier_uniform((100, 50), rng)
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= bound + 1e-7
+        assert w.shape == (100, 50) and w.dtype == np.float32
+
+    def test_xavier_normal_std(self):
+        rng = seeded_rng(0)
+        w = weight_init.xavier_normal((200, 200), rng)
+        expected_std = np.sqrt(2.0 / 400)
+        assert abs(w.std() - expected_std) / expected_std < 0.1
+
+    def test_kaiming_uniform_fanin(self):
+        rng = seeded_rng(0)
+        w = weight_init.kaiming_uniform((64, 32), rng)
+        assert np.abs(w).max() <= np.sqrt(6.0 / 64) + 1e-7
+
+    def test_conv_fan_computation(self):
+        fan_in, fan_out = weight_init._fans((16, 8, 3, 3))
+        assert fan_in == 8 * 9 and fan_out == 16 * 9
+
+    def test_vector_fans(self):
+        assert weight_init._fans((7,)) == (7, 7)
+
+    def test_normal_std_parameter(self):
+        rng = seeded_rng(0)
+        w = weight_init.normal((500, 100), rng, std=0.5)
+        assert abs(w.std() - 0.5) < 0.05
+
+    def test_zeros(self):
+        assert weight_init.zeros((3, 3)).sum() == 0.0
+
+    def test_determinism_per_seed(self):
+        a = weight_init.xavier_uniform((5, 5), seeded_rng(3))
+        b = weight_init.xavier_uniform((5, 5), seeded_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSeeding:
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(0, 3)
+        draws = [rng.random(4).tolist() for rng in rngs]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_spawn_deterministic(self):
+        a = spawn_rngs(7, 2)[1].random(3)
+        b = spawn_rngs(7, 2)[1].random(3)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,317 @@
+"""Tests for Module system, layers, recurrent cells and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Adam, Dropout, Embedding, GRUCell, LayerNorm, Linear,
+                      MLP, Module, Parameter, SGD, Sequential, StepLR,
+                      Tensor, TimeGate, clip_grad_norm)
+from repro.utils.gradcheck import check_gradients
+from repro.utils.seeding import seeded_rng
+
+
+def make_rng():
+    return seeded_rng(42)
+
+
+class TestModuleSystem:
+    def test_named_parameters_nested(self):
+        class Inner(Module):
+            def __init__(self, rng):
+                super().__init__()
+                self.lin = Linear(2, 3, rng)
+
+        class Outer(Module):
+            def __init__(self, rng):
+                super().__init__()
+                self.inner = Inner(rng)
+                self.scale = Parameter(np.ones(1, dtype=np.float32))
+                self.blocks = [Linear(3, 3, rng), Linear(3, 3, rng)]
+                self.heads = {"a": Linear(3, 1, rng)}
+
+        model = Outer(make_rng())
+        names = dict(model.named_parameters())
+        assert "inner.lin.weight" in names
+        assert "scale" in names
+        assert "blocks.0.weight" in names
+        assert "heads.a.bias" in names
+
+    def test_num_parameters(self):
+        lin = Linear(4, 5, make_rng())
+        assert lin.num_parameters() == 4 * 5 + 5
+
+    def test_train_eval_recursive(self):
+        model = Sequential(Dropout(0.5, make_rng()), Linear(2, 2, make_rng()))
+        model.eval()
+        assert not model.layers[0].training
+        model.train()
+        assert model.layers[0].training
+
+    def test_state_dict_roundtrip(self):
+        rng = make_rng()
+        a = Linear(3, 4, rng)
+        b = Linear(3, 4, seeded_rng(99))
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_validates_keys(self):
+        a = Linear(3, 4, make_rng())
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": a.weight.data})  # missing bias
+
+    def test_load_state_dict_validates_shapes(self):
+        a = Linear(3, 4, make_rng())
+        bad = a.state_dict()
+        bad["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            a.load_state_dict(bad)
+
+    def test_zero_grad(self):
+        lin = Linear(2, 2, make_rng())
+        out = lin(Tensor(np.ones((1, 2), dtype=np.float32))).sum()
+        out.backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        lin = Linear(3, 5, make_rng())
+        out = lin(Tensor(np.zeros((7, 3), dtype=np.float32)))
+        assert out.shape == (7, 5)
+
+    def test_linear_no_bias(self):
+        lin = Linear(3, 5, make_rng(), bias=False)
+        assert lin.bias is None
+        assert len(lin.parameters()) == 1
+
+    def test_embedding_lookup(self):
+        emb = Embedding(10, 4, make_rng())
+        out = emb(np.array([0, 3, 3]))
+        assert out.shape == (3, 4)
+        np.testing.assert_array_equal(out.data[1], out.data[2])
+
+    def test_embedding_grad_flows_to_rows(self):
+        emb = Embedding(5, 3, make_rng())
+        out = emb(np.array([1, 1])).sum()
+        out.backward()
+        grad = emb.weight.grad
+        np.testing.assert_allclose(grad[1], 2 * np.ones(3), atol=1e-6)
+        np.testing.assert_allclose(grad[0], np.zeros(3))
+
+    def test_layernorm_zero_mean_unit_var(self):
+        ln = LayerNorm(16)
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 16)).astype(np.float32) * 5 + 3)
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_layernorm_grad(self):
+        ln = LayerNorm(4)
+        ln.gamma.data = ln.gamma.data.astype(np.float64)
+        ln.beta.data = ln.beta.data.astype(np.float64)
+        x = Tensor(np.random.default_rng(1).standard_normal((2, 4)), requires_grad=True)
+        check_gradients(lambda t: (ln(t) ** 2).sum(), [x])
+
+    def test_mlp_output_shape(self):
+        mlp = MLP([8, 16, 4], make_rng())
+        out = mlp(Tensor(np.zeros((3, 8), dtype=np.float32)))
+        assert out.shape == (3, 4)
+
+    def test_mlp_rejects_single_dim(self):
+        with pytest.raises(ValueError):
+            MLP([8], make_rng())
+
+
+class TestRecurrent:
+    def test_gru_shapes_and_gating(self):
+        rng = make_rng()
+        cell = GRUCell(4, 4, rng)
+        x = Tensor(np.random.default_rng(0).standard_normal((6, 4)).astype(np.float32))
+        h = Tensor(np.zeros((6, 4), dtype=np.float32))
+        out = cell(x, h)
+        assert out.shape == (6, 4)
+
+    def test_gru_identity_when_update_gate_saturated(self):
+        # With w_x, w_h zero and a huge z-gate bias, h' == h.
+        cell = GRUCell(3, 3, make_rng())
+        cell.w_x.data[:] = 0
+        cell.w_h.data[:] = 0
+        cell.bias.data[:] = 0
+        cell.bias.data[:3] = 100.0  # saturate update gate z -> 1
+        h = Tensor(np.random.default_rng(0).standard_normal((2, 3)).astype(np.float32))
+        x = Tensor(np.ones((2, 3), dtype=np.float32))
+        out = cell(x, h)
+        np.testing.assert_allclose(out.data, h.data, atol=1e-5)
+
+    def test_gru_gradients(self):
+        cell = GRUCell(3, 3, make_rng())
+        for p in cell.parameters():
+            p.data = p.data.astype(np.float64)
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 3)), requires_grad=True)
+        h = Tensor(np.random.default_rng(1).standard_normal((2, 3)), requires_grad=True)
+        check_gradients(lambda a, b: (cell(a, b) ** 2).sum(), [x, h])
+
+    def test_time_gate_blends(self):
+        gate = TimeGate(3, make_rng())
+        gate.weight.data[:] = 0
+        gate.bias.data[:] = 100.0  # gate -> 1: output == candidate
+        cand = Tensor(np.ones((2, 3), dtype=np.float32))
+        prev = Tensor(np.zeros((2, 3), dtype=np.float32))
+        out = gate(cand, prev)
+        np.testing.assert_allclose(out.data, cand.data, atol=1e-5)
+
+    def test_time_gate_grad(self):
+        gate = TimeGate(3, make_rng())
+        for p in gate.parameters():
+            p.data = p.data.astype(np.float64)
+        cand = Tensor(np.random.default_rng(0).standard_normal((2, 3)), requires_grad=True)
+        prev = Tensor(np.random.default_rng(1).standard_normal((2, 3)), requires_grad=True)
+        check_gradients(lambda c, p: (gate(c, p) ** 2).sum(), [cand, prev])
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([1.0, -2.0, 3.0], dtype=np.float32)
+        param = Parameter(np.zeros(3, dtype=np.float32))
+
+        def loss_fn():
+            diff = param - Tensor(target)
+            return (diff * diff).sum()
+
+        return param, target, loss_fn
+
+    def test_sgd_converges(self):
+        param, target, loss_fn = self._quadratic_problem()
+        opt = SGD([param], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        param, target, loss_fn = self._quadratic_problem()
+        opt = SGD([param], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        param, target, loss_fn = self._quadratic_problem()
+        opt = Adam([param], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_adam_weight_decay_shrinks(self):
+        param = Parameter(np.ones(3, dtype=np.float32) * 5)
+        opt = Adam([param], lr=0.1, weight_decay=1.0)
+        for _ in range(100):
+            opt.zero_grad()
+            (param * 0.0).sum().backward()
+            opt.step()
+        assert np.abs(param.data).max() < 1.0
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        p.grad = np.ones(4, dtype=np.float32) * 10  # norm 20
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert abs(pre - 20.0) < 1e-4
+        assert abs(np.linalg.norm(p.grad) - 1.0) < 1e-4
+
+    def test_clip_grad_norm_noop_under_limit(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        p.grad = np.ones(4, dtype=np.float32) * 0.1
+        before = p.grad.copy()
+        clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_array_equal(p.grad, before)
+
+    def test_step_lr_schedule(self):
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        opt = Adam([param], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == 0.5
+
+
+class TestExtraOptimizers:
+    def test_rmsprop_converges(self):
+        from repro.nn import RMSProp
+        target = np.array([1.0, -2.0, 3.0], dtype=np.float32)
+        param = Parameter(np.zeros(3, dtype=np.float32))
+        opt = RMSProp([param], lr=0.05, momentum=0.5)
+        for _ in range(300):
+            opt.zero_grad()
+            diff = param - Tensor(target)
+            (diff * diff).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=0.05)
+
+    def test_cosine_lr_anneals_to_min(self):
+        from repro.nn import CosineLR
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        opt = Adam([param], lr=1.0)
+        sched = CosineLR(opt, total_epochs=10, min_lr=0.1)
+        for _ in range(10):
+            sched.step()
+        assert abs(opt.lr - 0.1) < 1e-6
+
+    def test_cosine_lr_monotone_decay(self):
+        from repro.nn import CosineLR
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        opt = Adam([param], lr=1.0)
+        sched = CosineLR(opt, total_epochs=5)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == sorted(lrs, reverse=True)
+
+    def test_cosine_rejects_zero_epochs(self):
+        from repro.nn import CosineLR
+        param = Parameter(np.zeros(1, dtype=np.float32))
+        with pytest.raises(ValueError):
+            CosineLR(Adam([param], lr=1.0), total_epochs=0)
+
+
+class TestBatchNorm:
+    def test_train_normalizes_batch(self):
+        from repro.nn import BatchNorm1d
+        bn = BatchNorm1d(4)
+        x = Tensor(np.random.default_rng(0).standard_normal(
+            (64, 4)).astype(np.float32) * 3 + 2)
+        out = bn(x).data
+        np.testing.assert_allclose(out.mean(axis=0), np.zeros(4), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=0), np.ones(4), atol=1e-2)
+
+    def test_eval_uses_running_stats(self):
+        from repro.nn import BatchNorm1d
+        bn = BatchNorm1d(2)
+        rng = np.random.default_rng(0)
+        for _ in range(50):  # accumulate running stats around N(2, 1)
+            bn(Tensor(rng.standard_normal((32, 2)).astype(np.float32) + 2))
+        bn.eval()
+        out = bn(Tensor(np.full((4, 2), 2.0, dtype=np.float32))).data
+        np.testing.assert_allclose(out, np.zeros((4, 2)), atol=0.2)
+
+    def test_gradients(self):
+        from repro.nn import BatchNorm1d
+        bn = BatchNorm1d(3)
+        x = Tensor(np.random.default_rng(1).standard_normal(
+            (8, 3)).astype(np.float32), requires_grad=True)
+        (bn(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert bn.gamma.grad is not None and bn.beta.grad is not None

@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the autodiff engine.
+
+These verify algebraic invariants that must hold for arbitrary inputs:
+linearity of the gradient, softmax simplex membership, logsumexp bounds,
+normalization idempotence, and optimizer descent on convex objectives.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor
+from repro.nn import ops
+from repro.nn.modules import Parameter
+from repro.nn.optim import Adam, SGD
+
+
+def arrays(shape, min_value=-10.0, max_value=10.0):
+    return hnp.arrays(np.float64, shape,
+                      elements=st.floats(min_value, max_value,
+                                         allow_nan=False, width=64))
+
+
+class TestAutogradProperties:
+    @given(arrays((3, 4)), arrays((3, 4)))
+    @settings(max_examples=60, deadline=None)
+    def test_gradient_of_sum_is_ones(self, a, b):
+        x = Tensor(a, requires_grad=True)
+        y = Tensor(b, requires_grad=True)
+        (x + y).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(a))
+        np.testing.assert_allclose(y.grad, np.ones_like(b))
+
+    @given(arrays((4,)), st.floats(-5, 5, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_grad_scales_linearly(self, a, scale):
+        x = Tensor(a, requires_grad=True)
+        (x * scale).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full_like(a, scale), atol=1e-9)
+
+    @given(arrays((3, 5)))
+    @settings(max_examples=60, deadline=None)
+    def test_softmax_is_on_simplex(self, a):
+        out = ops.softmax(Tensor(a)).data
+        assert np.all(out >= 0)
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(3), atol=1e-9)
+
+    @given(arrays((3, 5)))
+    @settings(max_examples=60, deadline=None)
+    def test_logsumexp_bounds(self, a):
+        out = ops.logsumexp(Tensor(a), axis=-1).data
+        assert np.all(out >= a.max(axis=-1) - 1e-9)
+        assert np.all(out <= a.max(axis=-1) + np.log(a.shape[-1]) + 1e-9)
+
+    @given(arrays((4, 6), min_value=-3, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_l2_normalize_idempotent(self, a):
+        once = ops.l2_normalize(Tensor(a)).data
+        twice = ops.l2_normalize(Tensor(once)).data
+        np.testing.assert_allclose(once, twice, atol=1e-6)
+
+    @given(arrays((2, 3)), arrays((3, 4)), arrays((4,)))
+    @settings(max_examples=40, deadline=None)
+    def test_chain_rule_through_affine(self, a, w, b):
+        """d/dx sum(x @ W + b) == row-sums of W broadcast to x's shape."""
+        x = Tensor(a, requires_grad=True)
+        (x @ Tensor(w) + Tensor(b)).sum().backward()
+        expected = np.tile(w.sum(axis=1), (a.shape[0], 1))
+        np.testing.assert_allclose(x.grad, expected, atol=1e-8)
+
+    @given(st.integers(1, 20), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_segment_sum_total_preserved(self, n_values, n_segments):
+        rng = np.random.default_rng(n_values * 31 + n_segments)
+        values = Tensor(rng.standard_normal((n_values, 3)))
+        idx = rng.integers(0, n_segments, size=n_values)
+        out = ops.segment_sum(values, idx, n_segments)
+        np.testing.assert_allclose(out.data.sum(axis=0),
+                                   values.data.sum(axis=0), atol=1e-9)
+
+
+class TestOptimizerProperties:
+    @given(arrays((5,), min_value=-3, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_sgd_step_decreases_quadratic(self, target):
+        param = Parameter(np.zeros(5, dtype=np.float64))
+        opt = SGD([param], lr=0.05)
+
+        def loss_value():
+            diff = param - Tensor(target)
+            return (diff * diff).sum()
+
+        before = float(loss_value().data)
+        opt.zero_grad()
+        loss_value().backward()
+        opt.step()
+        after = float(loss_value().data)
+        assert after <= before + 1e-12
+
+    @given(arrays((4,), min_value=-2, max_value=2))
+    @settings(max_examples=30, deadline=None)
+    def test_adam_converges_to_target(self, target):
+        param = Parameter(np.zeros(4, dtype=np.float64))
+        opt = Adam([param], lr=0.05)
+        for _ in range(400):
+            opt.zero_grad()
+            diff = param - Tensor(target)
+            (diff * diff).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=0.05)

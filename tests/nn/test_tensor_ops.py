@@ -1,0 +1,197 @@
+"""Gradient checks and semantics tests for the core Tensor ops."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.gradcheck import check_gradients
+
+
+def t64(arr, requires_grad=True):
+    return Tensor(np.asarray(arr, dtype=np.float64), requires_grad=requires_grad)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestArithmetic:
+    def test_add_broadcast_grad(self):
+        a = t64(RNG.standard_normal((3, 4)))
+        b = t64(RNG.standard_normal((4,)))
+        check_gradients(lambda x, y: (x + y).sum(), [a, b])
+
+    def test_sub_grad(self):
+        a = t64(RNG.standard_normal((2, 3)))
+        b = t64(RNG.standard_normal((2, 3)))
+        check_gradients(lambda x, y: (x - y).sum(), [a, b])
+
+    def test_mul_broadcast_grad(self):
+        a = t64(RNG.standard_normal((3, 4)))
+        b = t64(RNG.standard_normal((3, 1)))
+        check_gradients(lambda x, y: (x * y).sum(), [a, b])
+
+    def test_div_grad(self):
+        a = t64(RNG.standard_normal((3, 3)))
+        b = t64(RNG.standard_normal((3, 3)) + 3.0)
+        check_gradients(lambda x, y: (x / y).sum(), [a, b])
+
+    def test_rsub_and_rdiv(self):
+        a = t64([2.0, 4.0])
+        out = (1.0 - a).data
+        np.testing.assert_allclose(out, [-1.0, -3.0])
+        out2 = (8.0 / a).data
+        np.testing.assert_allclose(out2, [4.0, 2.0])
+
+    def test_neg_grad(self):
+        a = t64(RNG.standard_normal((4,)))
+        check_gradients(lambda x: (-x).sum(), [a])
+
+    def test_pow_grad(self):
+        a = t64(np.abs(RNG.standard_normal((3,))) + 0.5)
+        check_gradients(lambda x: (x ** 3).sum(), [a])
+
+    def test_scalar_mixing(self):
+        a = t64([1.0, 2.0])
+        assert np.allclose((a + 1).data, [2.0, 3.0])
+        assert np.allclose((2 * a).data, [2.0, 4.0])
+
+
+class TestMatmul:
+    def test_matmul_2d_grad(self):
+        a = t64(RNG.standard_normal((3, 4)))
+        b = t64(RNG.standard_normal((4, 5)))
+        check_gradients(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_matmul_vec_grad(self):
+        a = t64(RNG.standard_normal((3, 4)))
+        v = t64(RNG.standard_normal((4,)))
+        check_gradients(lambda x, y: (x @ y).sum(), [a, v])
+
+    def test_matmul_batched_grad(self):
+        a = t64(RNG.standard_normal((2, 3, 4)))
+        b = t64(RNG.standard_normal((2, 4, 5)))
+        check_gradients(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_vec_matmul_grad(self):
+        v = t64(RNG.standard_normal((3,)))
+        a = t64(RNG.standard_normal((3, 4)))
+        check_gradients(lambda x, y: (x @ y).sum(), [v, a])
+
+
+class TestShape:
+    def test_reshape_grad(self):
+        a = t64(RNG.standard_normal((2, 6)))
+        check_gradients(lambda x: (x.reshape(3, 4) * 2).sum(), [a])
+
+    def test_transpose_grad(self):
+        a = t64(RNG.standard_normal((2, 3, 4)))
+        check_gradients(lambda x: (x.transpose(2, 0, 1) ** 2).sum(), [a])
+
+    def test_T_property(self):
+        a = t64(RNG.standard_normal((2, 3)))
+        assert a.T.shape == (3, 2)
+
+    def test_getitem_int_rows_grad(self):
+        a = t64(RNG.standard_normal((5, 3)))
+        idx = np.array([0, 2, 2, 4])
+        check_gradients(lambda x: (x[idx] ** 2).sum(), [a])
+
+    def test_getitem_slice_grad(self):
+        a = t64(RNG.standard_normal((5, 4)))
+        check_gradients(lambda x: x[1:3, :2].sum(), [a])
+
+    def test_expand_grad(self):
+        a = t64(RNG.standard_normal((1, 4)))
+        check_gradients(lambda x: (x.expand(3, 4) * 2).sum(), [a])
+
+
+class TestReductions:
+    def test_sum_axis_grad(self):
+        a = t64(RNG.standard_normal((3, 4)))
+        check_gradients(lambda x: (x.sum(axis=0) ** 2).sum(), [a])
+
+    def test_sum_keepdims_grad(self):
+        a = t64(RNG.standard_normal((3, 4)))
+        check_gradients(lambda x: (x.sum(axis=1, keepdims=True) * x).sum(), [a])
+
+    def test_mean_grad(self):
+        a = t64(RNG.standard_normal((3, 4)))
+        check_gradients(lambda x: (x.mean(axis=1) ** 2).sum(), [a])
+
+    def test_mean_all_grad(self):
+        a = t64(RNG.standard_normal((3, 4)))
+        check_gradients(lambda x: x.mean() * 3.0, [a])
+
+    def test_max_grad(self):
+        a = t64(np.array([[1.0, 5.0, 2.0], [7.0, 0.0, 3.0]]))
+        check_gradients(lambda x: x.max(axis=1).sum(), [a])
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("name", ["exp", "tanh", "sigmoid", "relu", "cos", "sin", "abs"])
+    def test_unary_grad(self, name):
+        data = RNG.standard_normal((3, 3))
+        if name == "abs":
+            data = data + np.sign(data) * 0.2  # keep away from 0 kink
+        if name == "relu":
+            data = data + np.sign(data) * 0.2
+        a = t64(data)
+        check_gradients(lambda x: getattr(x, name)().sum(), [a])
+
+    def test_log_sqrt_grad(self):
+        a = t64(np.abs(RNG.standard_normal((3,))) + 0.5)
+        check_gradients(lambda x: x.log().sum(), [a])
+        check_gradients(lambda x: x.sqrt().sum(), [a])
+
+    def test_leaky_relu_grad(self):
+        a = t64(np.array([-2.0, -0.5, 0.5, 2.0]))
+        check_gradients(lambda x: x.leaky_relu(0.1).sum(), [a])
+
+    def test_clip_grad(self):
+        a = t64(np.array([-2.0, -0.3, 0.3, 2.0]))
+        check_gradients(lambda x: x.clip(-1.0, 1.0).sum(), [a])
+
+
+class TestAutogradMechanics:
+    def test_grad_accumulates_over_reuse(self):
+        a = t64([2.0])
+        out = a * a + a  # da = 2a + 1 = 5
+        out.backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_no_grad_blocks_graph(self):
+        a = t64([1.0, 2.0])
+        with no_grad():
+            out = (a * 3).sum()
+        assert out._backward is None
+        assert not out.requires_grad
+
+    def test_detach(self):
+        a = t64([1.0])
+        d = a.detach()
+        out = (d * 2).sum()
+        assert not out.requires_grad
+
+    def test_backward_nonscalar_raises(self):
+        a = t64([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            (a * 2).backward()
+
+    def test_int_tensor_cannot_require_grad(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array([1, 2, 3]), requires_grad=True)
+
+    def test_diamond_graph(self):
+        # f = (a*b) + (a+b); df/da = b + 1
+        a, b = t64([3.0]), t64([4.0])
+        ((a * b) + (a + b)).backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+        np.testing.assert_allclose(b.grad, [4.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        a = t64([1.0])
+        x = a
+        for _ in range(3000):
+            x = x * 1.0001
+        x.backward()
+        assert a.grad is not None

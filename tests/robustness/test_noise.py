@@ -1,0 +1,51 @@
+"""Tests for the Gaussian-noise robustness harness."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import tiny
+from repro.registry import build_model
+from repro.robustness import NoiseSweepResult, noise_sweep
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny()
+
+
+class TestNoiseSweep:
+    def test_requires_clean_reference_first(self, dataset):
+        model = build_model("distmult", dataset, dim=16)
+        with pytest.raises(ValueError):
+            noise_sweep(model, dataset, sigmas=(0.5, 1.0))
+
+    def test_sweep_shape_and_restoration(self, dataset):
+        model = build_model("distmult", dataset, dim=16)
+        result = noise_sweep(model, dataset, sigmas=(0.0, 1.0),
+                             model_name="distmult")
+        assert len(result.points) == 2
+        assert result.points[0].sigma == 0.0
+        assert model.input_noise_std == 0.0  # restored afterwards
+
+    def test_strong_noise_degrades_trained_model(self, dataset):
+        from repro import Trainer, TrainConfig
+        model = build_model("distmult", dataset, dim=16)
+        Trainer(TrainConfig(epochs=3, eval_every=3)).fit(model, dataset)
+        result = noise_sweep(model, dataset, sigmas=(0.0, 5.0))
+        assert result.points[1].mrr < result.points[0].mrr
+
+    def test_degradation_percent(self):
+        from repro.robustness.noise import NoisePoint
+        result = NoiseSweepResult("m", [
+            NoisePoint(0.0, 40.0, 30.0, 45.0, 60.0),
+            NoisePoint(1.0, 10.0, 5.0, 12.0, 20.0)])
+        assert result.degradation_percent(1.0) == pytest.approx(75.0)
+        with pytest.raises(KeyError):
+            result.degradation_percent(9.9)
+
+    def test_as_rows(self):
+        from repro.robustness.noise import NoisePoint
+        result = NoiseSweepResult("m", [NoisePoint(0.0, 1, 2, 3, 4)])
+        rows = result.as_rows()
+        assert rows[0] == {"sigma": 0.0, "mrr": 1, "hits@1": 2,
+                           "hits@3": 3, "hits@10": 4}

@@ -1,0 +1,69 @@
+"""Tests for negative sampling and the margin ranking loss."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn.functional import margin_ranking_loss
+from repro.tkg import corrupt_objects, corruption_rate
+from repro.utils.gradcheck import check_gradients
+from repro.utils.seeding import seeded_rng
+
+
+class TestCorruptObjects:
+    def test_no_negative_equals_positive(self):
+        rng = seeded_rng(0)
+        objects = rng.integers(0, 20, size=100)
+        negatives = corrupt_objects(objects, 20, rng, num_negatives=5)
+        assert negatives.shape == (100, 5)
+        assert not (negatives == objects[:, None]).any()
+
+    def test_two_entity_edge_case(self):
+        rng = seeded_rng(0)
+        objects = np.zeros(50, dtype=np.int64)
+        negatives = corrupt_objects(objects, 2, rng)
+        assert (negatives == 1).all()
+
+    def test_rejects_single_entity(self):
+        with pytest.raises(ValueError):
+            corrupt_objects(np.array([0]), 1, seeded_rng(0))
+
+    @given(st.integers(2, 30), st.integers(1, 5), st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_property_valid_range_and_distinct(self, num_entities,
+                                               num_negatives, batch):
+        rng = seeded_rng(num_entities * 7 + batch)
+        objects = rng.integers(0, num_entities, size=batch)
+        negatives = corrupt_objects(objects, num_entities,
+                                    rng, num_negatives)
+        assert negatives.min() >= 0 and negatives.max() < num_entities
+        assert not (negatives == objects[:, None]).any()
+
+    def test_corruption_rate_diagnostic(self):
+        negatives = np.array([[1, 2], [3, 4]])
+        truths = {(0, 1), (5, 4)}
+        rate = corruption_rate(negatives, truths, np.array([0, 5]))
+        assert rate == pytest.approx(0.5)
+
+
+class TestMarginRankingLoss:
+    def test_zero_when_margin_satisfied(self):
+        pos = Tensor(np.array([5.0, 5.0]))
+        neg = Tensor(np.array([[1.0], [0.0]]))
+        loss = margin_ranking_loss(pos, neg, margin=1.0)
+        assert float(loss.data) == 0.0
+
+    def test_positive_when_violated(self):
+        pos = Tensor(np.array([0.0]))
+        neg = Tensor(np.array([[0.5]]))
+        loss = margin_ranking_loss(pos, neg, margin=1.0)
+        assert float(loss.data) == pytest.approx(1.5)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(0)
+        pos = Tensor(rng.standard_normal(4), requires_grad=True)
+        neg = Tensor(rng.standard_normal((4, 3)) + 0.1, requires_grad=True)
+        check_gradients(
+            lambda p, n: margin_ranking_loss(p, n, margin=0.7), [pos, neg])

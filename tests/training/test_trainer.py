@@ -1,0 +1,109 @@
+"""Tests for the offline trainer, online protocol and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro import (LogCL, LogCLConfig, OnlineConfig, TrainConfig, Trainer,
+                   evaluate_online)
+from repro.datasets import tiny
+from repro.registry import build_model
+from repro.training import load_checkpoint, save_checkpoint
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny()
+
+
+def small_model(dataset, seed=0):
+    return LogCL(LogCLConfig(dim=16, time_dim=4, window=2, local_layers=1,
+                             global_layers=1, decoder_kernels=8, seed=seed),
+                 dataset.num_entities, dataset.num_relations)
+
+
+class TestTrainer:
+    def test_fit_improves_validation(self, dataset):
+        model = small_model(dataset)
+        trainer = Trainer(TrainConfig(epochs=4, eval_every=2, window=2))
+        result = trainer.fit(model, dataset)
+        assert result.epochs_run >= 2
+        assert result.best_valid_mrr > 0
+        assert len(result.train_losses) == result.epochs_run
+        # loss should broadly go down
+        assert result.train_losses[-1] < result.train_losses[0]
+
+    def test_best_state_restored(self, dataset):
+        model = small_model(dataset)
+        trainer = Trainer(TrainConfig(epochs=2, eval_every=1, window=2))
+        result = trainer.fit(model, dataset)
+        # after fit, the model carries the best validation weights
+        from repro.eval import evaluate
+        metrics = evaluate(model, dataset, "valid", window=2)
+        assert metrics["mrr"] == pytest.approx(result.best_valid_mrr, abs=1e-6)
+
+    def test_test_method(self, dataset):
+        model = small_model(dataset)
+        trainer = Trainer(TrainConfig(epochs=1, eval_every=1, window=2))
+        trainer.fit(model, dataset)
+        metrics = trainer.test(model, dataset)
+        assert set(metrics) >= {"mrr", "hits@1", "hits@3", "hits@10"}
+
+    def test_early_stopping(self, dataset):
+        # lr=0 means validation never improves after the first eval, so
+        # training must stop after `patience` non-improving evaluations.
+        model = build_model("distmult", dataset, dim=8)
+        trainer = Trainer(TrainConfig(epochs=50, lr=0.0, eval_every=1,
+                                      patience=2, window=2))
+        result = trainer.fit(model, dataset)
+        assert result.epochs_run == 3  # first eval + 2 stale evals
+
+
+class TestOnline:
+    def test_online_beats_or_matches_offline(self, dataset):
+        """Fig. 10's claim: adapting on revealed test facts helps."""
+        model = build_model("regcn", dataset, dim=16)
+        trainer = Trainer(TrainConfig(epochs=4, eval_every=2, window=2))
+        trainer.fit(model, dataset)
+        offline = trainer.test(model, dataset)
+        online = evaluate_online(model, dataset,
+                                 OnlineConfig(window=2, lr=1e-3))
+        assert online["count"] == offline["count"]
+        assert online["mrr"] >= offline["mrr"] - 1.0  # allow small jitter
+
+    def test_online_counts_match_testset(self, dataset):
+        model = build_model("distmult", dataset, dim=8)
+        online = evaluate_online(model, dataset, OnlineConfig(window=2))
+        assert online["count"] == 2 * len(dataset.test)
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, dataset, tmp_path):
+        model = small_model(dataset, seed=0)
+        other = small_model(dataset, seed=5)
+        path = str(tmp_path / "ckpt")
+        save_checkpoint(model, path, metadata={"epoch": 3})
+        meta = load_checkpoint(other, path)
+        assert meta == {"epoch": 3}
+        for (_, a), (_, b) in zip(sorted(model.named_parameters()),
+                                  sorted(other.named_parameters())):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_npz_suffix_optional(self, dataset, tmp_path):
+        model = small_model(dataset)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(model, path)
+        load_checkpoint(model, str(tmp_path / "ckpt"))
+
+
+class TestHistoryExport:
+    def test_roundtrip(self, dataset, tmp_path):
+        from repro.training import export_history, load_history
+        from repro.training.trainer import TrainResult
+        result = TrainResult(train_losses=[3.0, 2.0], valid_mrrs=[20.0],
+                             best_valid_mrr=20.0, epochs_run=2, seconds=1.5)
+        path = str(tmp_path / "history.json")
+        export_history(result, path)
+        loaded = load_history(path)
+        assert loaded.train_losses == [3.0, 2.0]
+        assert loaded.best_valid_mrr == 20.0
+        assert loaded.epochs_run == 2
