@@ -1,6 +1,7 @@
 # Convenience targets for the LogCL reproduction.
 
-.PHONY: install test test-fast bench bench-table3 experiments clean-cache lint
+.PHONY: install test test-fast bench bench-table3 serve-bench experiments \
+	clean-cache lint
 
 install:
 	pip install -e .
@@ -8,14 +9,17 @@ install:
 test:
 	pytest tests/
 
-test-fast:  ## unit tests only (skips the slower end-to-end training tests)
-	pytest tests/ --ignore=tests/integration
+test-fast:  ## quick signal: nn + serving units and the examples smoke test
+	pytest tests/nn tests/serving tests/integration/test_examples.py
 
 bench:  ## regenerate every paper table/figure (cached under benchmarks/.cache)
 	pytest benchmarks/ --benchmark-only -s
 
 bench-table3:
 	pytest benchmarks/test_table3_main_results.py --benchmark-only -s
+
+serve-bench:  ## serving latency: cached incremental inference vs cold recompute
+	pytest benchmarks/test_serving_latency.py --benchmark-only -s
 
 experiments:  ## rebuild EXPERIMENTS.md from benchmarks/results/
 	python benchmarks/aggregate_results.py

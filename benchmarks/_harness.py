@@ -148,7 +148,18 @@ def get_trained_model(model_name: str, dataset_name: str,
     dataset = get_dataset(dataset_name)
     model = build_model(model_name, dataset, dim=BENCH_DIM,
                         **dict(model_overrides or {}))
-    load_checkpoint(model, str(CACHE_DIR / record["key"]))
+    try:
+        load_checkpoint(model, str(CACHE_DIR / record["key"]))
+    except Exception:
+        # Cached weights unreadable (e.g. a truncated .npz) — drop the
+        # cache entry and retrain instead of failing the experiment.
+        (CACHE_DIR / f"{record['key']}.json").unlink(missing_ok=True)
+        (CACHE_DIR / f"{record['key']}.npz").unlink(missing_ok=True)
+        record = run_experiment(model_name, dataset_name, model_overrides,
+                                train_overrides)
+        model = build_model(model_name, dataset, dim=BENCH_DIM,
+                            **dict(model_overrides or {}))
+        load_checkpoint(model, str(CACHE_DIR / record["key"]))
     model.eval()
     return model, dataset, record
 

@@ -23,6 +23,7 @@ Package map
 ``repro.baselines``  10 re-implemented comparison systems
 ``repro.eval``       MRR/Hits@k with time-aware filtering
 ``repro.training``   offline trainer, online protocol, checkpoints
+``repro.serving``    incremental online inference engine + micro-batcher
 ``repro.robustness`` Gaussian-noise sweeps
 """
 
@@ -30,6 +31,7 @@ from .core import LogCL, LogCLConfig
 from .interface import ExtrapolationModel
 from .training import (HistoryContext, OnlineConfig, TrainConfig, Trainer,
                        TrainResult, evaluate_online)
+from .serving import InferenceEngine, MicroBatcher, ServingStats
 from .eval import evaluate, format_metric_row
 
 __version__ = "1.0.0"
@@ -38,6 +40,7 @@ __all__ = [
     "LogCL", "LogCLConfig", "ExtrapolationModel",
     "Trainer", "TrainConfig", "TrainResult", "HistoryContext",
     "OnlineConfig", "evaluate_online",
+    "InferenceEngine", "MicroBatcher", "ServingStats",
     "evaluate", "format_metric_row",
     "__version__",
 ]

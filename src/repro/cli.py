@@ -6,6 +6,7 @@ Subcommands
 ``evaluate``   evaluate a checkpoint under a chosen filter setting
 ``noise``      run a Gaussian-noise sweep on a checkpoint (Fig. 2/5)
 ``online``     online-learning evaluation of a checkpoint (Fig. 10)
+``serve``      incremental online inference over a JSONL stdin/stdout loop
 ``stats``      print Table II-style statistics for datasets
 ``generate``   write a synthetic preset to disk in the RE-GCN format
 ``list``       list registered models and dataset presets
@@ -112,6 +113,88 @@ def _cmd_online(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_handle(engine, request: dict) -> dict:
+    """Dispatch one JSONL serving request; returns the response payload."""
+    import numpy as np
+
+    from .training import save_engine_state
+
+    op = request.get("op")
+    if op == "advance":
+        facts = np.asarray(request["facts"], dtype=np.int64)
+        count = engine.advance(facts, time=request.get("time"))
+        return {"ok": True, "op": op, "time": engine.last_time,
+                "facts_ingested": count}
+    if op == "predict":
+        queries = np.asarray(request["queries"], dtype=np.int64)
+        if queries.ndim != 2 or queries.shape[1] != 2:
+            raise ValueError("queries must be [[subject, relation], ...]")
+        time = request.get("time")
+        k = int(request.get("topk", 10))
+        filtered = bool(request.get("filtered", False))
+        results = [engine.predict_topk(int(s), int(r), k=k, time=time,
+                                       filtered=filtered)
+                   for s, r in queries]
+        return {"ok": True, "op": op,
+                "time": engine.next_time if time is None else int(time),
+                "results": [[[e, round(p, 6)] for e, p in row]
+                            for row in results]}
+    if op == "stats":
+        return {"ok": True, "op": op, "stats": engine.stats.as_dict()}
+    if op == "save":
+        save_engine_state(engine, request["path"],
+                          metadata=request.get("metadata"))
+        return {"ok": True, "op": op, "path": request["path"]}
+    raise ValueError(f"unknown op {op!r}; valid: advance, predict, stats, "
+                     "save")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """JSONL request loop: one JSON object per stdin line, one per reply.
+
+    Requests::
+
+        {"op": "advance", "time": 80, "facts": [[s, r, o], ...]}
+        {"op": "predict", "queries": [[s, r], ...], "topk": 5}
+        {"op": "stats"}
+        {"op": "save", "path": "engine_state.npz"}
+
+    The loop ends at EOF (or an ``{"op": "quit"}`` line) and prints the
+    serving-stats summary to stderr, keeping stdout pure JSONL.
+    """
+    from .serving import InferenceEngine
+
+    dataset = _load_dataset(args.dataset)
+    engine = InferenceEngine.from_checkpoint(
+        args.checkpoint, args.model, dataset, window=args.window,
+        dim=args.dim, seed=args.seed)
+    if args.preload != "none":
+        splits = {"train": ("train",), "valid": ("train", "valid"),
+                  "all": ("train", "valid", "test")}[args.preload]
+        count = engine.preload(dataset, splits=splits)
+        print(json.dumps({"ok": True, "op": "preload", "splits": splits,
+                          "facts_ingested": count,
+                          "time": engine.last_time}), flush=True)
+
+    stream = args.requests_from or sys.stdin
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+            if request.get("op") == "quit":
+                break
+            response = _serve_handle(engine, request)
+        except Exception as exc:  # serve loops must not die on bad input
+            response = {"ok": False, "error": str(exc)}
+        print(json.dumps(response), flush=True)
+
+    for stats_line in engine.stats.summary_lines():
+        print(stats_line, file=sys.stderr)
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     rows = [compute_statistics(_load_dataset(spec)) for spec in args.datasets]
     for line in format_statistics_table(rows):
@@ -174,6 +257,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_online.add_argument("--checkpoint", required=True)
     p_online.add_argument("--lr", type=float, default=1e-3)
     p_online.set_defaults(func=_cmd_online)
+
+    p_serve = sub.add_parser("serve", help="incremental online inference "
+                             "(JSONL request loop on stdin/stdout)")
+    _add_common_model_args(p_serve)
+    p_serve.add_argument("--checkpoint", required=True)
+    p_serve.add_argument("--preload", default="train",
+                         choices=("none", "train", "valid", "all"),
+                         help="history to ingest before serving")
+    p_serve.set_defaults(func=_cmd_serve, requests_from=None)
 
     p_stats = sub.add_parser("stats", help="dataset statistics")
     p_stats.add_argument("datasets", nargs="+",

@@ -5,14 +5,15 @@ from .attention import (GlobalEntityAwareAttention, LocalEntityAwareAttention,
 from .contrast import VALID_STRATEGIES, QueryContrastModule
 from .decoder import ConvTransE
 from .global_encoder import GlobalEncoding, GlobalHistoryEncoder
-from .local_encoder import LocalEncoding, LocalRecurrentEncoder
+from .local_encoder import (LocalEncoding, LocalRecurrentEncoder,
+                            LocalRecurrentState)
 from .model import LogCL, LogCLConfig
 from .subgraph import GlobalHistoryIndex
 from .time_encoding import TimeEncoding
 
 __all__ = [
     "LogCL", "LogCLConfig",
-    "LocalRecurrentEncoder", "LocalEncoding",
+    "LocalRecurrentEncoder", "LocalEncoding", "LocalRecurrentState",
     "GlobalHistoryEncoder", "GlobalEncoding",
     "QueryContrastModule", "VALID_STRATEGIES",
     "ConvTransE", "TimeEncoding", "GlobalHistoryIndex",

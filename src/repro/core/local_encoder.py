@@ -35,6 +35,26 @@ class LocalEncoding:
     last_agg: Optional[Tensor]       # aggregate of the most recent snapshot
 
 
+@dataclass
+class LocalRecurrentState:
+    """The encoder's recurrent state after walking part of a window.
+
+    This is the unit of incremental serving: the state after snapshot
+    ``t`` plus one :meth:`LocalRecurrentEncoder.step` equals the state
+    after snapshot ``t+1``, so an inference engine can advance it one
+    ingested snapshot at a time instead of replaying the whole window.
+    The walk is anchored to one ``query_time`` (the time-interval
+    encoding of Eq. 2-3 measures distances from it), so states cached
+    for one horizon are not reusable at another.
+    """
+
+    query_time: int
+    entities: Tensor                 # H_t — evolved entity matrix
+    relations: Tensor                # R_t — evolved relation matrix
+    aggs: List[Tensor]               # per-snapshot aggregates (Eq. 4)
+    steps: int = 0                   # snapshots consumed so far
+
+
 class LocalRecurrentEncoder(Module):
     """The full local pipeline: aggregate -> evolve -> attend."""
 
@@ -67,6 +87,61 @@ class LocalRecurrentEncoder(Module):
         candidate = pooled + relations
         return self.time_gate(candidate, relations)
 
+    # -- incremental state API -----------------------------------------
+    def initial_state(self, query_time: int, entities0: Tensor,
+                      relations0: Tensor) -> LocalRecurrentState:
+        """Fresh recurrent state anchored at ``query_time`` (H_0 / R_0)."""
+        return LocalRecurrentState(query_time=query_time, entities=entities0,
+                                   relations=relations0, aggs=[])
+
+    def step(self, state: LocalRecurrentState,
+             snapshot: Snapshot) -> LocalRecurrentState:
+        """Advance the recurrent state by one snapshot (Eq. 2-8).
+
+        Returns a new state; the input state is left untouched so a
+        serving engine may checkpoint/fork states freely.
+        """
+        h_in = state.entities
+        if self.time_encoding is not None:
+            h_in = self.time_encoding(h_in, state.query_time - snapshot.time)
+        agg = self.aggregator(h_in, state.relations, snapshot.src,
+                              snapshot.rel, snapshot.dst)        # Eq. 4
+        entities = self.gru(agg, state.entities)                 # Eq. 5
+        relations = self._evolve_relations(state.relations, entities,
+                                           snapshot)             # Eq. 6-8
+        return LocalRecurrentState(query_time=state.query_time,
+                                   entities=entities, relations=relations,
+                                   aggs=state.aggs + [agg],
+                                   steps=state.steps + 1)
+
+    def encode_window(self, snapshots: Sequence[Snapshot], query_time: int,
+                      entities0: Tensor,
+                      relations0: Tensor) -> LocalRecurrentState:
+        """Walk a whole window: ``initial_state`` + one ``step`` each."""
+        state = self.initial_state(query_time, entities0, relations0)
+        for snapshot in snapshots:
+            state = self.step(state, snapshot)
+        return state
+
+    def attend(self, state: LocalRecurrentState, entities0: Tensor,
+               query_subjects: np.ndarray,
+               query_relations: np.ndarray) -> LocalEncoding:
+        """Apply the query-dependent attention (Eq. 9-11) to a state.
+
+        This is the only query-dependent part of the local pipeline, so a
+        serving engine caches the state once per timestamp and re-runs
+        just this method per query batch.
+        """
+        key = self.query_key(entities0, state.relations, query_subjects,
+                             query_relations)                   # Eq. 9
+        if self.attention is not None and state.aggs:
+            final = self.attention(state.entities, state.aggs, key)  # Eq. 10-11
+        else:
+            final = state.entities
+        return LocalEncoding(entities=final, relations=state.relations,
+                             snapshot_aggs=state.aggs,
+                             last_agg=state.aggs[-1] if state.aggs else None)
+
     def forward(self, snapshots: Sequence[Snapshot], query_time: int,
                 entities0: Tensor, relations0: Tensor,
                 query_subjects: np.ndarray,
@@ -77,25 +152,6 @@ class LocalRecurrentEncoder(Module):
         matrices (H_0 / R_0); ``query_subjects`` / ``query_relations`` are
         aligned id arrays of the timestamp's query batch.
         """
-        entities = entities0
-        relations = relations0
-        aggs: List[Tensor] = []
-        for snapshot in snapshots:
-            h_in = entities
-            if self.time_encoding is not None:
-                h_in = self.time_encoding(h_in, query_time - snapshot.time)
-            agg = self.aggregator(h_in, relations, snapshot.src,
-                                  snapshot.rel, snapshot.dst)
-            aggs.append(agg)
-            entities = self.gru(agg, entities)                  # Eq. 5
-            relations = self._evolve_relations(relations, entities, snapshot)
-
-        key = self.query_key(entities0, relations, query_subjects,
-                             query_relations)                   # Eq. 9
-        if self.attention is not None and aggs:
-            final = self.attention(entities, aggs, key)         # Eq. 10-11
-        else:
-            final = entities
-        return LocalEncoding(entities=final, relations=relations,
-                             snapshot_aggs=aggs,
-                             last_agg=aggs[-1] if aggs else None)
+        state = self.encode_window(snapshots, query_time, entities0,
+                                   relations0)
+        return self.attend(state, entities0, query_subjects, query_relations)

@@ -173,16 +173,36 @@ class LogCL(ExtrapolationModel):
             base = self.static_encoder(base)
         return base
 
-    def encode(self, snapshots, query_time: int, subjects: np.ndarray,
-               relations: np.ndarray, global_edges) -> Dict[str, Optional[Tensor]]:
-        """Run both encoders and fuse; returns all intermediate tensors."""
+    def precompute_context(self, snapshots, query_time: int) -> Dict:
+        """Query-independent encoder state for one timestamp.
+
+        Runs the base-embedding preparation and the local window walk —
+        everything that depends only on history and ``query_time``, not on
+        the query batch.  The returned context can be cached by a serving
+        engine and fed to :meth:`encode_queries` for any number of query
+        batches at that timestamp; ``encode_queries(precompute_context(...),
+        ...)`` is numerically identical to :meth:`encode`.
+        """
         entities0 = self._base_entities()
         relations0 = self.relation_embedding.all()
+        local_state = None
+        if self.local_encoder is not None:
+            local_state = self.local_encoder.encode_window(
+                snapshots, query_time, entities0, relations0)
+        return {"entities0": entities0, "relations0": relations0,
+                "local_state": local_state, "query_time": query_time}
+
+    def encode_queries(self, context: Dict, subjects: np.ndarray,
+                       relations: np.ndarray,
+                       global_edges) -> Dict[str, Optional[Tensor]]:
+        """Query-dependent half of :meth:`encode` on a precomputed context."""
+        entities0 = context["entities0"]
+        relations0 = context["relations0"]
 
         local = None
-        if self.local_encoder is not None:
-            local = self.local_encoder(snapshots, query_time, entities0,
-                                       relations0, subjects, relations)
+        if context["local_state"] is not None:
+            local = self.local_encoder.attend(context["local_state"],
+                                              entities0, subjects, relations)
         glob = None
         if self.global_encoder is not None:
             src, rel, dst = global_edges
@@ -219,6 +239,12 @@ class LogCL(ExtrapolationModel):
         return {"local": local, "global": glob, "fused": fused,
                 "candidates": candidates,
                 "relations": rel_matrix, "relations0": relations0}
+
+    def encode(self, snapshots, query_time: int, subjects: np.ndarray,
+               relations: np.ndarray, global_edges) -> Dict[str, Optional[Tensor]]:
+        """Run both encoders and fuse; returns all intermediate tensors."""
+        context = self.precompute_context(snapshots, query_time)
+        return self.encode_queries(context, subjects, relations, global_edges)
 
     def score_queries(self, encoded: Dict, subjects: np.ndarray,
                       relations: np.ndarray) -> Tensor:

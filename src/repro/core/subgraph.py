@@ -38,13 +38,55 @@ class GlobalHistoryIndex:
     """
 
     def __init__(self, facts: QuadrupleSet):
-        self._facts = facts.array  # sorted by time
-        self._times = facts.times
+        # Facts live in an amortized-growth buffer so a serving engine can
+        # keep appending freshly ingested snapshots via :meth:`extend`.
+        self._buffer = np.array(facts.array, dtype=np.int64)  # sorted by time
+        self._size = len(self._buffer)
         self._cursor = 0           # rows [0, cursor) are "in the past"
         self.horizon = -1          # latest fully-included timestamp + 1
         # incremental structures
         self._facts_of_entity: Dict[int, List[int]] = defaultdict(list)
         self._answers: Dict[Tuple[int, int], Dict[int, int]] = defaultdict(dict)
+
+    @classmethod
+    def empty(cls) -> "GlobalHistoryIndex":
+        """An index with no facts yet (serving engines fill it via extend)."""
+        return cls(QuadrupleSet.empty())
+
+    @property
+    def _facts(self) -> np.ndarray:
+        return self._buffer[:self._size]
+
+    @property
+    def _times(self) -> np.ndarray:
+        return self._buffer[:self._size, 3]
+
+    def extend(self, facts: np.ndarray) -> None:
+        """Append new facts ``(k, 4)`` in amortized O(k).
+
+        Rows may arrive unsorted within the chunk but must not predate any
+        already-stored fact, so the time column stays globally sorted and
+        :meth:`advance_to` keeps working with binary search.  Facts become
+        visible to queries once ``advance_to`` moves past their timestamp.
+        """
+        arr = np.asarray(facts, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != 4:
+            raise ValueError(f"expected (k, 4) fact array, got {arr.shape}")
+        if len(arr) == 0:
+            return
+        arr = arr[np.argsort(arr[:, 3], kind="stable")]
+        if self._size and int(arr[0, 3]) < int(self._buffer[self._size - 1, 3]):
+            raise ValueError(
+                f"cannot append facts at t={int(arr[0, 3])} before the "
+                f"latest stored timestamp {int(self._buffer[self._size - 1, 3])}")
+        needed = self._size + len(arr)
+        if needed > len(self._buffer):
+            grown = np.empty((max(needed, 2 * len(self._buffer), 1024), 4),
+                             dtype=np.int64)
+            grown[:self._size] = self._buffer[:self._size]
+            self._buffer = grown
+        self._buffer[self._size:needed] = arr
+        self._size = needed
 
     def advance_to(self, query_time: int) -> None:
         """Include all facts with ``t < query_time`` into the index."""

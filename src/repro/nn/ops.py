@@ -271,14 +271,22 @@ def logsumexp(t: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
 
 
 def l2_normalize(t: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
-    """Project rows onto the unit sphere (used by the contrast module)."""
+    """Project rows onto the unit sphere (used by the contrast module).
+
+    Rows whose norm falls below ``eps`` are flushed to exact zero: a
+    clamped denominator alone would leave them at an arbitrary tiny
+    scale, which breaks idempotency (normalizing twice would suddenly
+    blow the row up once its rescaled norm crosses ``eps``).
+    """
     norm = np.sqrt((t.data ** 2).sum(axis=axis, keepdims=True))
-    norm = np.maximum(norm, eps)
-    out_data = t.data / norm
+    degenerate = norm < eps
+    safe_norm = np.maximum(norm, eps)
+    out_data = np.where(degenerate, 0.0, t.data / safe_norm)
 
     def backward(grad: np.ndarray) -> None:
         dot = (grad * out_data).sum(axis=axis, keepdims=True)
-        t._accumulate((grad - out_data * dot) / norm)
+        t._accumulate(np.where(degenerate, 0.0,
+                               (grad - out_data * dot) / safe_norm))
 
     return Tensor._make(out_data, (t,), backward)
 

@@ -1,0 +1,18 @@
+"""``repro.serving`` — incremental online inference with cached state.
+
+The inference half of the training/inference stack: load a trained
+checkpoint, stream snapshots in with :meth:`InferenceEngine.advance`,
+answer ``(s, r, t, ?)`` queries with :meth:`InferenceEngine.predict`
+(or coalesced through :class:`MicroBatcher`), observe latency and cache
+behaviour through :class:`ServingStats`.  See ``docs/serving.md``.
+"""
+
+from .batcher import MicroBatcher, PendingQuery
+from .engine import InferenceEngine, ServingBatch
+from .stats import ServingStats, StageStats
+
+__all__ = [
+    "InferenceEngine", "ServingBatch",
+    "MicroBatcher", "PendingQuery",
+    "ServingStats", "StageStats",
+]

@@ -1,0 +1,98 @@
+"""Micro-batching front-end for the inference engine.
+
+Individual queries submitted between flushes are coalesced into one
+engine forward per timestamp — the same timestamp-batched shape as
+``ExtrapolationModel.predict_on``.  Queries are forwarded exactly as
+submitted (order preserved, duplicates kept): LogCL's query-aware
+attention key pools the relation context over the batch, so the batch
+composition is part of the model's semantics and must not be silently
+rewritten.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .engine import InferenceEngine
+
+
+class PendingQuery:
+    """Ticket for one submitted query; resolved on flush."""
+
+    __slots__ = ("subject", "relation", "time", "scores")
+
+    def __init__(self, subject: int, relation: int, time: int):
+        self.subject = subject
+        self.relation = relation
+        self.time = time
+        self.scores: Optional[np.ndarray] = None
+
+    @property
+    def done(self) -> bool:
+        return self.scores is not None
+
+    def topk(self, k: int = 10) -> List[Tuple[int, float]]:
+        """Top-k ``(entity, probability)`` once the ticket is resolved."""
+        if self.scores is None:
+            raise RuntimeError("query not flushed yet")
+        exp = np.exp(self.scores - self.scores.max())
+        probs = exp / exp.sum()
+        top = np.argsort(-probs)[:k]
+        return [(int(e), float(probs[e])) for e in top]
+
+
+class MicroBatcher:
+    """Coalesces concurrently submitted queries into batched forwards.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`InferenceEngine` to answer through.
+    max_pending:
+        Auto-flush threshold: submitting the ``max_pending``-th query
+        triggers a flush (0 disables auto-flush; call :meth:`flush`).
+    """
+
+    def __init__(self, engine: InferenceEngine, max_pending: int = 64):
+        self.engine = engine
+        self.max_pending = max_pending
+        self._pending: List[PendingQuery] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(self, subject: int, relation: int,
+               time: Optional[int] = None) -> PendingQuery:
+        """Queue one ``(s, r, t, ?)`` query; returns its ticket."""
+        resolved = self.engine.next_time if time is None else int(time)
+        ticket = PendingQuery(int(subject), int(relation), resolved)
+        self._pending.append(ticket)
+        if self.max_pending and len(self._pending) >= self.max_pending:
+            self.flush()
+        return ticket
+
+    def flush(self) -> List[PendingQuery]:
+        """Answer all pending queries, one engine forward per timestamp.
+
+        Timestamps are served in ascending order to respect the engine's
+        monotonic history index.  Returns the resolved tickets.
+        """
+        if not self._pending:
+            return []
+        flushed, self._pending = self._pending, []
+        by_time: Dict[int, List[PendingQuery]] = defaultdict(list)
+        for ticket in flushed:
+            by_time[ticket.time].append(ticket)
+        for time in sorted(by_time):
+            tickets = by_time[time]
+            subjects = np.array([t.subject for t in tickets], dtype=np.int64)
+            relations = np.array([t.relation for t in tickets], dtype=np.int64)
+            scores = self.engine.predict(subjects, relations, time=time)
+            for row, ticket in enumerate(tickets):
+                ticket.scores = scores[row]
+            self.engine.stats.incr("microbatch_flushes")
+            self.engine.stats.incr("microbatched_queries", len(tickets))
+        return flushed

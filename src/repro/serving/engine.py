@@ -1,0 +1,375 @@
+"""Incremental online inference engine for trained TKG models.
+
+The batch pipeline re-runs the local recurrent encoder over the whole
+snapshot window and rebuilds the global query subgraph for every
+evaluation pass.  :class:`InferenceEngine` turns the same trained model
+into an ingest-then-answer service:
+
+* :meth:`InferenceEngine.advance` ingests one snapshot of facts in
+  amortized O(new facts) — it appends to the growable
+  :class:`repro.core.subgraph.GlobalHistoryIndex`, the time-aware filter
+  and the snapshot window without touching older history;
+* :meth:`InferenceEngine.predict` answers ``(s, r, t, ?)`` query batches
+  against cached state: the query-independent local recurrent walk is
+  computed once per timestamp (``context_cache``), merged historical
+  subgraphs are memoized per query batch (``subgraph_cache``) and full
+  score matrices per repeated batch (``score_cache``).
+
+Predictions are numerically identical to the cold batch path
+(``model.predict_on`` over a fresh :class:`HistoryContext`): the engine
+calls the very same encoder ops in the same order, it only reuses the
+query-independent prefix.
+
+Models that expose the incremental-context protocol
+(``precompute_context`` / ``encode_queries`` / ``score_queries``, i.e.
+LogCL) get the cached fast path; every other
+:class:`repro.interface.ExtrapolationModel` is served through a
+duck-typed :class:`ServingBatch` fed to its ``predict_on`` — correct,
+incremental on the history side, just without local-state reuse.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.subgraph import GlobalHistoryIndex
+from ..nn import no_grad
+from ..tkg.dataset import Snapshot, TKGDataset
+from ..tkg.filtering import TimeAwareFilter
+from ..tkg.quadruples import QuadrupleSet
+from .stats import ServingStats
+
+# Stage names used with ServingStats.time.
+STAGES = ("ingest", "local_state", "subgraph", "forward")
+
+
+class ServingBatch:
+    """Duck-typed stand-in for :class:`repro.training.context.TimestepBatch`.
+
+    Carries exactly the attributes model ``predict_on`` implementations
+    read, backed by the engine's incremental state instead of a training
+    :class:`HistoryContext`.
+    """
+
+    phase = "serving"
+    objects = None
+
+    def __init__(self, engine: "InferenceEngine", time: int,
+                 subjects: np.ndarray, relations: np.ndarray):
+        self._engine = engine
+        self.time = time
+        self.subjects = subjects
+        self.relations = relations
+
+    def __len__(self) -> int:
+        return len(self.subjects)
+
+    @property
+    def snapshots(self) -> List[Snapshot]:
+        return self._engine.window_before(self.time)
+
+    @property
+    def global_edges(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self._engine._global_edges(self.time, self.subjects,
+                                          self.relations)
+
+    @property
+    def history_index(self) -> GlobalHistoryIndex:
+        self._engine._index.advance_to(self.time)
+        return self._engine._index
+
+    @property
+    def num_entities(self) -> int:
+        return self._engine.num_entities
+
+
+class InferenceEngine:
+    """Serves one trained model over an incrementally ingested history.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`repro.interface.ExtrapolationModel`; switched to
+        eval mode on construction.
+    num_entities, num_relations:
+        Vocabulary sizes (``num_relations`` counts *original* relations;
+        the engine augments ingested facts with inverses itself).
+    window:
+        Local window length ``m`` — must match the value the model was
+        trained/evaluated with for prediction parity.
+    score_cache_size:
+        LRU capacity of the full-score memo (0 disables it).  The memo is
+        also disabled automatically while the model has input noise
+        enabled, since scores are then stochastic.
+
+    Time contract
+    -------------
+    Ingestion and querying are monotonic: ``advance`` requires strictly
+    increasing snapshot timestamps, and a ``predict`` at time ``t`` pins
+    the history index at ``t`` so later calls may not go back before it.
+    Queries at time ``t`` see exactly the facts ingested with timestamps
+    ``< t`` — the same extrapolation contract as batch evaluation.
+    """
+
+    def __init__(self, model, num_entities: int, num_relations: int,
+                 window: int = 3, score_cache_size: int = 512,
+                 context_cache_size: int = 4):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.model = model.eval()
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.window = window
+        self.stats = ServingStats()
+        self.last_time: Optional[int] = None
+        self._snapshots: Dict[int, Snapshot] = {}     # inverse-augmented
+        self._raw_facts: List[np.ndarray] = []        # original (k, 4) chunks
+        self._index = GlobalHistoryIndex.empty()
+        self.filter = TimeAwareFilter([])
+        self._supports_context = all(
+            hasattr(model, method) for method in
+            ("precompute_context", "encode_queries", "score_queries"))
+        self._context_cache: "OrderedDict[int, Dict]" = OrderedDict()
+        self._context_cache_size = context_cache_size
+        self._subgraph_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._score_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._score_cache_size = score_cache_size
+
+    # -- construction helpers ------------------------------------------
+    @classmethod
+    def from_checkpoint(cls, checkpoint_path: str, model_name: str,
+                        dataset: TKGDataset, window: int = 3,
+                        **model_overrides) -> "InferenceEngine":
+        """Build a registered model, load weights, wrap it in an engine."""
+        from ..registry import build_model
+        from ..training.checkpoint import load_checkpoint
+        model = build_model(model_name, dataset, **model_overrides)
+        load_checkpoint(model, checkpoint_path)
+        return cls(model, dataset.num_entities, dataset.num_relations,
+                   window=window)
+
+    def preload(self, dataset: TKGDataset, splits: Sequence[str] = ("train",),
+                up_to: Optional[int] = None) -> int:
+        """Ingest a dataset's facts snapshot-by-snapshot; returns #facts."""
+        facts = QuadrupleSet.empty()
+        for split in splits:
+            facts = facts.concat(dataset.splits()[split])
+        total = 0
+        for t, arr in sorted(facts.group_by_time().items()):
+            if up_to is not None and t > up_to:
+                break
+            self.advance(arr[:, :3], time=int(t))
+            total += len(arr)
+        return total
+
+    # -- ingestion ------------------------------------------------------
+    def advance(self, facts: np.ndarray, time: Optional[int] = None) -> int:
+        """Ingest one snapshot; returns the number of (original) facts.
+
+        ``facts`` is ``(k, 3)`` ``(s, r, o)`` rows for one timestamp, or
+        ``(k, 4)`` rows whose shared time column may replace ``time``.
+        Timestamps must be strictly increasing across calls.
+        """
+        with self.stats.time("ingest"):
+            arr = np.asarray(facts, dtype=np.int64)
+            if arr.ndim != 2 or arr.shape[1] not in (3, 4):
+                raise ValueError(f"expected (k, 3) or (k, 4) facts, "
+                                 f"got shape {arr.shape}")
+            if arr.shape[1] == 4:
+                stamps = np.unique(arr[:, 3])
+                if len(stamps) > 1:
+                    raise ValueError("one advance() call ingests one "
+                                     f"snapshot; got timestamps {stamps}")
+                if time is None and len(stamps):
+                    time = int(stamps[0])
+                arr = arr[:, :3]
+            if time is None:
+                time = 0 if self.last_time is None else self.last_time + 1
+            time = int(time)
+            if self.last_time is not None and time <= self.last_time:
+                raise ValueError(f"snapshots must arrive in time order: "
+                                 f"got t={time} after t={self.last_time}")
+            quads = np.concatenate(
+                [arr, np.full((len(arr), 1), time, dtype=np.int64)], axis=1)
+            augmented = QuadrupleSet(quads).with_inverses(self.num_relations)
+            self._snapshots[time] = Snapshot.from_array(time, augmented.array)
+            self._raw_facts.append(quads)
+            self._index.extend(augmented.array)
+            self.filter.add_facts(augmented)
+            # Anything cached for a query time beyond the new snapshot now
+            # has a stale history; times at or before it are unaffected.
+            self._invalidate_after(time)
+            self.last_time = time
+            self.stats.incr("facts_ingested", len(arr))
+            self.stats.incr("snapshots_ingested")
+        return len(arr)
+
+    def _invalidate_after(self, time: int) -> None:
+        for key in [t for t in self._context_cache if t > time]:
+            del self._context_cache[key]
+        for cache in (self._subgraph_cache, self._score_cache):
+            for key in [k for k in cache if k[0] > time]:
+                del cache[key]
+
+    # -- query-time state -----------------------------------------------
+    @property
+    def next_time(self) -> int:
+        """The earliest fully-served timestamp (one past the ingested horizon)."""
+        return 0 if self.last_time is None else self.last_time + 1
+
+    def window_before(self, query_time: int) -> List[Snapshot]:
+        """The local window: snapshots in ``[t - m, t)`` that exist."""
+        times = range(max(0, query_time - self.window), query_time)
+        return [self._snapshots[t] for t in times if t in self._snapshots]
+
+    def _context(self, query_time: int) -> Dict:
+        """Cached query-independent encoder state for ``query_time``."""
+        if query_time in self._context_cache:
+            self.stats.incr("context_cache_hits")
+            self._context_cache.move_to_end(query_time)
+            return self._context_cache[query_time]
+        self.stats.incr("context_cache_misses")
+        with self.stats.time("local_state"):
+            with no_grad():
+                context = self.model.precompute_context(
+                    self.window_before(query_time), query_time)
+        self._context_cache[query_time] = context
+        if len(self._context_cache) > self._context_cache_size:
+            self._context_cache.popitem(last=False)
+        return context
+
+    def _global_edges(self, query_time: int, subjects: np.ndarray,
+                      relations: np.ndarray
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached merged historical subgraph for one query batch."""
+        key = (query_time, subjects.tobytes(), relations.tobytes())
+        if key in self._subgraph_cache:
+            self.stats.incr("subgraph_cache_hits")
+            self._subgraph_cache.move_to_end(key)
+            return self._subgraph_cache[key]
+        self.stats.incr("subgraph_cache_misses")
+        with self.stats.time("subgraph"):
+            self._index.advance_to(query_time)
+            pairs = list(zip(subjects.tolist(), relations.tolist()))
+            edges = self._index.subgraph_for_queries(pairs, deduplicate=True)
+        self._subgraph_cache[key] = edges
+        if len(self._subgraph_cache) > self._score_cache_size:
+            self._subgraph_cache.popitem(last=False)
+        return edges
+
+    # -- prediction -----------------------------------------------------
+    def predict(self, subjects: np.ndarray, relations: np.ndarray,
+                time: Optional[int] = None) -> np.ndarray:
+        """Scores ``(Q, |E|)`` for aligned query arrays at one timestamp.
+
+        ``relations`` may contain inverse-space ids (``>= num_relations``)
+        for object-to-subject queries, exactly as in batch evaluation.
+        ``time`` defaults to :attr:`next_time`.
+        """
+        subjects = np.ascontiguousarray(subjects, dtype=np.int64)
+        relations = np.ascontiguousarray(relations, dtype=np.int64)
+        if subjects.shape != relations.shape or subjects.ndim != 1:
+            raise ValueError("subjects/relations must be aligned 1-D arrays")
+        query_time = self.next_time if time is None else int(time)
+        if query_time < self._index.horizon:
+            raise ValueError(
+                f"queries must advance monotonically in time: the index is "
+                f"already at t={self._index.horizon}, asked {query_time}")
+
+        memo_enabled = (self._score_cache_size > 0
+                        and getattr(self.model, "input_noise_std", 0.0) <= 0.0)
+        key = (query_time, subjects.tobytes(), relations.tobytes())
+        if memo_enabled and key in self._score_cache:
+            self.stats.incr("score_cache_hits")
+            self._score_cache.move_to_end(key)
+            self.stats.incr("queries_served", len(subjects))
+            return self._score_cache[key].copy()
+        self.stats.incr("score_cache_misses")
+
+        if self._supports_context:
+            context = self._context(query_time)
+            edges = self._global_edges(query_time, subjects, relations)
+            with self.stats.time("forward"):
+                with no_grad():
+                    encoded = self.model.encode_queries(context, subjects,
+                                                        relations, edges)
+                    scores = self.model.score_queries(encoded, subjects,
+                                                      relations).data
+        else:
+            batch = ServingBatch(self, query_time, subjects, relations)
+            with self.stats.time("forward"):
+                scores = self.model.predict_on(batch)
+
+        if memo_enabled:
+            self._score_cache[key] = scores
+            if len(self._score_cache) > self._score_cache_size:
+                self._score_cache.popitem(last=False)
+        self.stats.incr("queries_served", len(subjects))
+        return scores.copy() if memo_enabled else scores
+
+    def predict_topk(self, subject: int, relation: int, k: int = 10,
+                     time: Optional[int] = None,
+                     filtered: bool = False) -> List[Tuple[int, float]]:
+        """Top-k ``(entity, probability)`` answers for one query.
+
+        With ``filtered=True`` entities already observed as answers of
+        ``(subject, relation)`` at the query timestamp (per the ingested
+        facts) are excluded before ranking.
+        """
+        query_time = self.next_time if time is None else int(time)
+        scores = self.predict(np.array([subject]), np.array([relation]),
+                              time=query_time)[0]
+        if filtered:
+            known = self.filter.true_objects(int(subject), int(relation),
+                                             query_time)
+            if known:
+                scores = scores.copy()
+                scores[list(known)] = -np.inf
+        finite = scores[np.isfinite(scores)]
+        shift = finite.max() if len(finite) else 0.0
+        exp = np.exp(np.where(np.isfinite(scores), scores - shift, -np.inf))
+        probs = exp / exp.sum()
+        top = np.argsort(-probs)[:k]
+        return [(int(e), float(probs[e])) for e in top]
+
+    # -- persistence ----------------------------------------------------
+    def serving_state(self) -> Dict[str, np.ndarray]:
+        """The engine's replayable history state as plain arrays."""
+        facts = (np.concatenate(self._raw_facts, axis=0)
+                 if self._raw_facts else np.empty((0, 4), dtype=np.int64))
+        return {
+            "facts": facts,
+            "meta": np.array([self.num_entities, self.num_relations,
+                              self.window,
+                              -1 if self.last_time is None else self.last_time],
+                             dtype=np.int64),
+        }
+
+    def restore_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Rebuild ingestion state from :meth:`serving_state` output."""
+        meta = np.asarray(state["meta"], dtype=np.int64)
+        if int(meta[0]) != self.num_entities or int(meta[1]) != self.num_relations:
+            raise ValueError(
+                f"state was saved for {int(meta[0])} entities / "
+                f"{int(meta[1])} relations, engine has "
+                f"{self.num_entities} / {self.num_relations}")
+        self.window = int(meta[2])
+        self.last_time = None
+        self._snapshots.clear()
+        self._raw_facts = []
+        self._index = GlobalHistoryIndex.empty()
+        self.filter = TimeAwareFilter([])
+        self._context_cache.clear()
+        self._subgraph_cache.clear()
+        self._score_cache.clear()
+        facts = np.asarray(state["facts"], dtype=np.int64)
+        if len(facts):
+            replay = QuadrupleSet(facts)
+            for t, arr in sorted(replay.group_by_time().items()):
+                self.advance(arr[:, :3], time=int(t))
+        saved_last = int(meta[3])
+        if saved_last >= 0 and self.last_time != saved_last:
+            self.last_time = saved_last

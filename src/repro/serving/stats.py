@@ -1,0 +1,122 @@
+"""Serving observability: per-stage latency, throughput, cache counters.
+
+The engine wraps each pipeline stage (``ingest``, ``local_state``,
+``subgraph``, ``forward``) in :meth:`ServingStats.time`, and bumps named
+counters for cache hits/misses.  Everything is exposed as a plain dict
+(:meth:`ServingStats.as_dict`) so the CLI's ``stats`` op and the latency
+bench can emit it as JSON without further massaging.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict, deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List
+
+# How many recent samples each stage keeps for percentile estimates.
+_RESERVOIR = 2048
+
+
+@dataclass
+class StageStats:
+    """Latency accumulator for one pipeline stage."""
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+    recent: Deque[float] = field(default_factory=lambda: deque(maxlen=_RESERVOIR))
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+        self.recent.append(seconds)
+
+    def percentile(self, q: float) -> float:
+        """Empirical q-quantile (0..1) over the retained samples."""
+        if not self.recent:
+            return 0.0
+        ordered = sorted(self.recent)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+    def as_dict(self) -> Dict[str, float]:
+        mean = self.total_s / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "total_ms": round(self.total_s * 1e3, 3),
+            "mean_ms": round(mean * 1e3, 3),
+            "min_ms": round((self.min_s if self.count else 0.0) * 1e3, 3),
+            "max_ms": round(self.max_s * 1e3, 3),
+            "p50_ms": round(self.percentile(0.50) * 1e3, 3),
+            "p95_ms": round(self.percentile(0.95) * 1e3, 3),
+        }
+
+
+class ServingStats:
+    """Aggregated serving metrics for one engine instance."""
+
+    def __init__(self) -> None:
+        self.stages: Dict[str, StageStats] = defaultdict(StageStats)
+        self.counters: Dict[str, int] = defaultdict(int)
+        self._started = time.perf_counter()
+
+    @contextmanager
+    def time(self, stage: str) -> Iterator[None]:
+        """Context manager timing one occurrence of ``stage``."""
+        begin = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages[stage].add(time.perf_counter() - begin)
+
+    def incr(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] += amount
+
+    @property
+    def uptime_s(self) -> float:
+        return time.perf_counter() - self._started
+
+    def throughput(self, counter: str = "queries_served") -> float:
+        """Cumulative rate of ``counter`` per second of engine uptime."""
+        elapsed = self.uptime_s
+        return self.counters.get(counter, 0) / elapsed if elapsed > 0 else 0.0
+
+    def hit_rate(self, cache: str) -> float:
+        """Hit fraction for a cache with ``<cache>_hits``/``<cache>_misses``."""
+        hits = self.counters.get(f"{cache}_hits", 0)
+        misses = self.counters.get(f"{cache}_misses", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "uptime_s": round(self.uptime_s, 3),
+            "throughput_qps": round(self.throughput(), 3),
+            "stages": {name: stage.as_dict()
+                       for name, stage in sorted(self.stages.items())},
+            "counters": dict(sorted(self.counters.items())),
+            "cache_hit_rates": {
+                cache: round(self.hit_rate(cache), 4)
+                for cache in ("context_cache", "subgraph_cache", "score_cache")
+                if (f"{cache}_hits" in self.counters
+                    or f"{cache}_misses" in self.counters)},
+        }
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable rendering for CLI / bench output."""
+        lines = [f"uptime {self.uptime_s:8.2f}s   "
+                 f"throughput {self.throughput():8.2f} q/s"]
+        for name, stage in sorted(self.stages.items()):
+            d = stage.as_dict()
+            lines.append(f"{name:12s} n={d['count']:<6d} "
+                         f"mean {d['mean_ms']:8.2f}ms  "
+                         f"p50 {d['p50_ms']:8.2f}ms  "
+                         f"p95 {d['p95_ms']:8.2f}ms")
+        for counter, value in sorted(self.counters.items()):
+            lines.append(f"{counter:28s} {value}")
+        return lines

@@ -34,6 +34,21 @@ class TimeAwareFilter:
         """All objects o such that (s, r, o, t) is a known fact."""
         return self._index.get((s, r, t), frozenset())
 
+    def add_facts(self, facts) -> None:
+        """Incrementally index newly revealed facts.
+
+        Serving engines ingest snapshots one at a time; this keeps the
+        filter in sync without rebuilding the whole index.  Accepts a
+        :class:`QuadrupleSet` or a plain ``(k, 4)`` array.
+        """
+        arr = facts.array if isinstance(facts, QuadrupleSet) else \
+            np.asarray(facts, dtype=np.int64)
+        fresh: Dict[Tuple[int, int, int], Set[int]] = defaultdict(set)
+        for s, r, o, t in arr:
+            fresh[(int(s), int(r), int(t))].add(int(o))
+        for key, objs in fresh.items():
+            self._index[key] = self._index.get(key, frozenset()) | objs
+
     def filter_scores(self, scores: np.ndarray, s: int, r: int, t: int,
                       target: int) -> np.ndarray:
         """Return a copy of ``scores`` with competing true objects at -inf.

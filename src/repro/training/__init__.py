@@ -1,6 +1,7 @@
 """``repro.training`` — offline trainer, online protocol, batching."""
 
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (load_checkpoint, load_engine_state, save_checkpoint,
+                         save_engine_state)
 from .context import (PHASES, HistoryContext, TimestepBatch,
                       iter_timestep_batches)
 from .online import OnlineConfig, evaluate_online
@@ -13,4 +14,5 @@ __all__ = [
     "export_history", "load_history",
     "OnlineConfig", "evaluate_online",
     "save_checkpoint", "load_checkpoint",
+    "save_engine_state", "load_engine_state",
 ]

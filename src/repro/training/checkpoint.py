@@ -1,4 +1,4 @@
-"""Checkpointing model weights to .npz archives."""
+"""Checkpointing model weights (and serving-engine state) to .npz archives."""
 
 from __future__ import annotations
 
@@ -38,4 +38,54 @@ def load_checkpoint(model: Module, path: str) -> Dict[str, Any]:
         state = {name: archive[name] for name in archive.files
                  if name != "__metadata__"}
     model.load_state_dict(state)
+    return metadata
+
+
+# -- serving-engine state --------------------------------------------------
+
+_ENGINE_KEYS = ("__metadata__", "__serving_facts__", "__serving_meta__")
+
+
+def save_engine_state(engine, path: str,
+                      metadata: Optional[Dict[str, Any]] = None) -> None:
+    """Persist a serving engine (model weights + ingested history).
+
+    One archive restarts the whole service: the model's parameters are
+    stored exactly as :func:`save_checkpoint` would, plus the engine's
+    replayable history under reserved ``__serving_*`` keys.
+    """
+    state = engine.model.state_dict()
+    for reserved in _ENGINE_KEYS:
+        if reserved in state:
+            raise ValueError(f"parameter name {reserved} is reserved")
+    serving = engine.serving_state()
+    payload = dict(state)
+    payload["__serving_facts__"] = serving["facts"]
+    payload["__serving_meta__"] = serving["meta"]
+    payload["__metadata__"] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez(path if path.endswith(".npz") else path + ".npz", **payload)
+
+
+def load_engine_state(engine, path: str) -> Dict[str, Any]:
+    """Restore model weights and ingested history into ``engine``.
+
+    The engine must be built for the same model architecture and
+    vocabulary sizes; returns the archive's metadata.
+    """
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        if "__serving_facts__" not in archive.files:
+            raise ValueError(f"{path} is a plain model checkpoint, not an "
+                             "engine state (use load_checkpoint)")
+        metadata = json.loads(bytes(archive["__metadata__"]).decode("utf-8"))
+        params = {name: archive[name] for name in archive.files
+                  if name not in _ENGINE_KEYS}
+        serving = {"facts": archive["__serving_facts__"],
+                   "meta": archive["__serving_meta__"]}
+    engine.model.load_state_dict(params)
+    engine.model.eval()
+    engine.restore_state(serving)
     return metadata

@@ -67,3 +67,56 @@ class TestTrainEvaluate:
     def test_unknown_model_rejected(self):
         with pytest.raises(SystemExit):
             main(["train", "--model", "nope", "--dataset", "tiny"])
+
+
+class TestServe:
+    @pytest.fixture(scope="class")
+    def checkpoint(self, tmp_path_factory):
+        ckpt = str(tmp_path_factory.mktemp("serve") / "logcl.npz")
+        assert main(["train", "--model", "logcl", "--dataset", "tiny",
+                     "--dim", "16", "--epochs", "1", "--eval-every", "1",
+                     "--quiet", "--out", ckpt]) == 0
+        return ckpt
+
+    def _serve(self, checkpoint, requests, capsys, preload="train"):
+        from repro.cli import build_parser
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--model", "logcl", "--dataset", "tiny",
+             "--dim", "16", "--checkpoint", checkpoint,
+             "--preload", preload])
+        args.requests_from = [json.dumps(r) + "\n" for r in requests]
+        assert args.func(args) == 0
+        out = capsys.readouterr().out
+        return [json.loads(line) for line in out.splitlines() if line]
+
+    def test_advance_predict_stats_loop(self, checkpoint, capsys, tmp_path):
+        state_path = str(tmp_path / "engine_state.npz")
+        responses = self._serve(checkpoint, [
+            {"op": "advance", "facts": [[0, 0, 1], [2, 1, 3]]},
+            {"op": "predict", "queries": [[0, 0], [2, 1]], "topk": 3},
+            {"op": "stats"},
+            {"op": "save", "path": state_path},
+            {"op": "nonsense"},
+        ], capsys)
+        preload, advance, predict, stats, save, bad = responses
+        assert preload["op"] == "preload" and preload["facts_ingested"] > 0
+        assert advance["ok"] and advance["facts_ingested"] == 2
+        assert predict["ok"] and len(predict["results"]) == 2
+        assert all(len(row) == 3 for row in predict["results"])
+        entity, prob = predict["results"][0][0]
+        assert 0 <= entity and 0.0 <= prob <= 1.0
+        assert stats["ok"] and "stages" in stats["stats"]
+        assert stats["stats"]["counters"]["queries_served"] >= 2
+        assert save["ok"]
+        import os
+        assert os.path.exists(state_path)
+        assert not bad["ok"] and "unknown op" in bad["error"]
+
+    def test_bad_request_does_not_kill_loop(self, checkpoint, capsys):
+        responses = self._serve(checkpoint, [
+            {"op": "advance", "facts": [[0, 0]]},          # malformed
+            {"op": "predict", "queries": [[0, 0]], "topk": 2},
+        ], capsys, preload="train")
+        assert responses[1]["ok"] is False
+        assert responses[2]["ok"] is True  # loop survived the error

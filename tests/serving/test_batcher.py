@@ -1,0 +1,68 @@
+"""Micro-batcher: coalescing semantics and ticket resolution."""
+
+import numpy as np
+import pytest
+
+from repro import LogCL, LogCLConfig
+from repro.datasets import load_preset
+from repro.serving import InferenceEngine, MicroBatcher
+
+
+@pytest.fixture(scope="module")
+def served():
+    dataset = load_preset("tiny")
+    model = LogCL(LogCLConfig(dim=16, window=3, seed=0),
+                  dataset.num_entities, dataset.num_relations).eval()
+    engine = InferenceEngine(model, dataset.num_entities,
+                             dataset.num_relations, window=3)
+    engine.preload(dataset, splits=("train",))
+    return engine, dataset
+
+
+class TestMicroBatcher:
+    def test_flush_coalesces_one_forward_per_timestamp(self, served):
+        engine, dataset = served
+        batcher = MicroBatcher(engine, max_pending=0)
+        t = engine.next_time
+        tickets = [batcher.submit(s, r, time=t)
+                   for s, r in [(0, 0), (1, 1), (2, 0)]]
+        assert len(batcher) == 3 and not tickets[0].done
+        forwards_before = engine.stats.counters.get("score_cache_misses", 0)
+        batcher.flush()
+        forwards_after = engine.stats.counters["score_cache_misses"]
+        assert forwards_after - forwards_before == 1  # one model forward
+        assert all(t.done for t in tickets)
+        assert len(batcher) == 0
+
+    def test_tickets_match_direct_predict(self, served):
+        """Each ticket's row equals the same batch predicted directly."""
+        engine, dataset = served
+        batcher = MicroBatcher(engine, max_pending=0)
+        t = engine.next_time
+        queries = [(0, 0), (3, 1), (0, 0)]  # duplicates preserved
+        tickets = [batcher.submit(s, r, time=t) for s, r in queries]
+        batcher.flush()
+        direct = engine.predict(np.array([q[0] for q in queries]),
+                                np.array([q[1] for q in queries]), time=t)
+        for row, ticket in enumerate(tickets):
+            np.testing.assert_array_equal(ticket.scores, direct[row])
+
+    def test_auto_flush_at_capacity(self, served):
+        engine, _ = served
+        batcher = MicroBatcher(engine, max_pending=2)
+        first = batcher.submit(0, 0)
+        second = batcher.submit(1, 0)  # hits capacity -> auto flush
+        assert first.done and second.done
+        assert len(batcher) == 0
+
+    def test_topk_requires_flush(self, served):
+        engine, _ = served
+        batcher = MicroBatcher(engine, max_pending=0)
+        ticket = batcher.submit(0, 0)
+        with pytest.raises(RuntimeError, match="not flushed"):
+            ticket.topk(3)
+        batcher.flush()
+        top = ticket.topk(3)
+        assert len(top) == 3
+        probs = [p for _, p in top]
+        assert probs == sorted(probs, reverse=True)

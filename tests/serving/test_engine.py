@@ -1,0 +1,186 @@
+"""Incremental inference engine: parity with the cold batch path.
+
+The load-bearing invariant (see docs/serving.md): after any number of
+``advance()`` calls, ``engine.predict`` at a timestamp is numerically
+identical to a cold ``model.predict_on`` over a fresh
+:class:`HistoryContext` holding the same facts — the engine only reuses
+the query-independent prefix of the computation, it never approximates.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LogCL, LogCLConfig, TrainConfig, Trainer
+from repro.datasets import load_preset
+from repro.registry import build_model
+from repro.serving import InferenceEngine
+from repro.tkg.dataset import TKGDataset
+from repro.tkg.quadruples import QuadrupleSet
+from repro.training.context import HistoryContext, TimestepBatch
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_preset("tiny")
+
+
+@pytest.fixture(scope="module")
+def logcl(dataset):
+    model = LogCL(LogCLConfig(dim=16, window=3, seed=0),
+                  dataset.num_entities, dataset.num_relations)
+    trainer = Trainer(TrainConfig(epochs=1, lr=2e-3, window=3,
+                                  verbose=False))
+    trainer.fit(model, dataset)
+    return model.eval()
+
+
+def _fresh_engine(model, dataset, window=3, **kwargs):
+    engine = InferenceEngine(model, dataset.num_entities,
+                             dataset.num_relations, window=window, **kwargs)
+    engine.preload(dataset, splits=("train", "valid", "test"))
+    return engine
+
+
+def _cold_scores(model, dataset, time, subjects, relations, window=3):
+    """The batch pipeline's prediction with a fresh, single-batch context."""
+    context = HistoryContext(dataset, window=window)
+    batch = TimestepBatch(time=time, subjects=subjects, relations=relations,
+                          objects=np.zeros_like(subjects), phase="forward",
+                          context=context)
+    return model.predict_on(batch)
+
+
+def _phase_batches(dataset, time):
+    """Forward and inverse query arrays for one test timestamp."""
+    facts = dataset.test.at_time(time).array
+    forward = (facts[:, 0].copy(), facts[:, 1].copy())
+    inverse = (facts[:, 2].copy(),
+               facts[:, 1] + dataset.num_relations)
+    return {"forward": forward, "inverse": inverse}
+
+
+class TestColdParity:
+    def test_incremental_matches_cold_over_snapshots(self, logcl, dataset):
+        """≥3 snapshots, both phases: engine == cold path to 1e-8."""
+        engine = _fresh_engine(logcl, dataset)
+        times = [int(t) for t in dataset.test.timestamps()[:3]]
+        assert len(times) >= 3
+        checked = 0
+        for time in times:
+            for phase, (subjects, relations) in _phase_batches(
+                    dataset, time).items():
+                cold = _cold_scores(logcl, dataset, time, subjects, relations)
+                warm = engine.predict(subjects, relations, time=time)
+                np.testing.assert_allclose(warm, cold, atol=1e-8,
+                                           err_msg=f"t={time} {phase}")
+                checked += 1
+        assert checked >= 6
+
+    def test_parity_survives_interleaved_ingest(self, logcl, dataset):
+        """advance() between queries must not disturb earlier-time parity."""
+        all_facts = dataset.all_facts()
+        split_t = int(dataset.valid.times.min())
+        engine = InferenceEngine(logcl, dataset.num_entities,
+                                 dataset.num_relations, window=3)
+        for t, arr in sorted(all_facts.before(split_t).group_by_time().items()):
+            engine.advance(arr[:, :3], time=int(t))
+        remaining = sorted(
+            all_facts.between(split_t, split_t + 4).group_by_time().items())
+        assert len(remaining) >= 3
+        for t, arr in remaining:
+            subjects, relations = arr[:, 0].copy(), arr[:, 1].copy()
+            # Query *before* ingesting this snapshot: history is t' < t.
+            warm = engine.predict(subjects, relations, time=int(t))
+            partial = TKGDataset(
+                name="partial",
+                train=all_facts.before(int(t)),
+                valid=QuadrupleSet.empty(), test=QuadrupleSet.empty(),
+                num_entities=dataset.num_entities,
+                num_relations=dataset.num_relations)
+            cold = _cold_scores(logcl, partial, int(t), subjects, relations)
+            np.testing.assert_allclose(warm, cold, atol=1e-8)
+            engine.advance(arr[:, :3], time=int(t))
+
+    def test_score_cache_returns_identical_scores(self, logcl, dataset):
+        engine = _fresh_engine(logcl, dataset)
+        t = int(dataset.test.timestamps()[0])
+        facts = dataset.test.at_time(t).array
+        subjects, relations = facts[:, 0].copy(), facts[:, 1].copy()
+        first = engine.predict(subjects, relations, time=t)
+        second = engine.predict(subjects, relations, time=t)
+        np.testing.assert_array_equal(first, second)
+        assert engine.stats.counters["score_cache_hits"] == 1
+
+    def test_fallback_model_served_through_predict_on(self, dataset):
+        """Models without incremental contexts run via ServingBatch."""
+        model = build_model("regcn", dataset, dim=16).eval()
+        engine = _fresh_engine(model, dataset)
+        assert not engine._supports_context
+        t = int(dataset.test.timestamps()[0])
+        facts = dataset.test.at_time(t).array
+        subjects, relations = facts[:, 0].copy(), facts[:, 1].copy()
+        cold = _cold_scores(model, dataset, t, subjects, relations)
+        warm = engine.predict(subjects, relations, time=t)
+        np.testing.assert_allclose(warm, cold, atol=1e-8)
+
+
+class TestEngineContracts:
+    def test_monotonic_ingest_enforced(self, logcl, dataset):
+        engine = InferenceEngine(logcl, dataset.num_entities,
+                                 dataset.num_relations)
+        engine.advance(np.array([[0, 0, 1]]), time=5)
+        with pytest.raises(ValueError, match="time order"):
+            engine.advance(np.array([[1, 0, 2]]), time=5)
+
+    def test_monotonic_queries_enforced(self, logcl, dataset):
+        engine = _fresh_engine(logcl, dataset)
+        engine.predict(np.array([0]), np.array([0]), time=engine.next_time)
+        with pytest.raises(ValueError, match="monotonically"):
+            engine.predict(np.array([0]), np.array([0]), time=1)
+
+    def test_advance_rejects_mixed_timestamps(self, logcl, dataset):
+        engine = InferenceEngine(logcl, dataset.num_entities,
+                                 dataset.num_relations)
+        mixed = np.array([[0, 0, 1, 3], [1, 0, 2, 4]])
+        with pytest.raises(ValueError, match="one snapshot"):
+            engine.advance(mixed)
+
+    def test_ingest_invalidates_stale_caches(self, logcl, dataset):
+        """A snapshot at t stales every cache entry for query times > t."""
+        engine = _fresh_engine(logcl, dataset)
+        t_new = engine.next_time
+        t_query = t_new + 1
+        subjects = np.array([0, 1])
+        relations = np.array([0, 1])
+        before = engine.predict(subjects, relations, time=t_query)
+        assert t_query in engine._context_cache
+        engine.advance(np.array([[0, 0, 1]]), time=t_new)
+        assert t_query not in engine._context_cache
+        after = engine.predict(subjects, relations, time=t_query)
+        # The new snapshot is inside t_query's window, so the cached
+        # answer would have been stale.
+        assert not np.array_equal(before, after)
+
+    def test_predict_topk_filtered(self, logcl, dataset):
+        engine = _fresh_engine(logcl, dataset)
+        t = engine.next_time
+        engine.advance(np.array([[0, 0, 1], [0, 0, 2]]), time=t)
+        top = engine.predict_topk(0, 0, k=5, time=t, filtered=True)
+        answered = {e for e, _ in top}
+        assert {1, 2}.isdisjoint(answered)
+        probs = [p for _, p in top]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_stats_schema(self, logcl, dataset):
+        engine = _fresh_engine(logcl, dataset)
+        t = int(dataset.test.timestamps()[0])
+        facts = dataset.test.at_time(t).array
+        engine.predict(facts[:, 0].copy(), facts[:, 1].copy(), time=t)
+        payload = engine.stats.as_dict()
+        assert {"uptime_s", "throughput_qps", "stages", "counters",
+                "cache_hit_rates"} <= set(payload)
+        assert {"ingest", "local_state", "subgraph",
+                "forward"} <= set(payload["stages"])
+        for stage in payload["stages"].values():
+            assert {"count", "mean_ms", "p50_ms", "p95_ms"} <= set(stage)
+        assert payload["counters"]["queries_served"] == len(facts)

@@ -1,0 +1,86 @@
+"""Engine state persistence: save → restore → identical predictions."""
+
+import numpy as np
+import pytest
+
+from repro import LogCL, LogCLConfig
+from repro.datasets import load_preset
+from repro.serving import InferenceEngine
+from repro.training import (load_checkpoint, load_engine_state,
+                            save_checkpoint, save_engine_state)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_preset("tiny")
+
+
+def _engine(dataset, seed=0):
+    model = LogCL(LogCLConfig(dim=16, window=3, seed=seed),
+                  dataset.num_entities, dataset.num_relations).eval()
+    return InferenceEngine(model, dataset.num_entities,
+                           dataset.num_relations, window=3)
+
+
+class TestEngineState:
+    def test_round_trip_preserves_predictions(self, dataset, tmp_path):
+        engine = _engine(dataset)
+        engine.preload(dataset, splits=("train",))
+        t = engine.next_time
+        facts = dataset.valid.array[:8]
+        subjects, relations = facts[:, 0].copy(), facts[:, 1].copy()
+        expected = engine.predict(subjects, relations, time=t)
+
+        path = str(tmp_path / "engine_state")
+        save_engine_state(engine, path, metadata={"note": "round-trip"})
+
+        restored = _engine(dataset, seed=1)  # different init weights
+        meta = load_engine_state(restored, path)
+        assert meta == {"note": "round-trip"}
+        assert restored.last_time == engine.last_time
+        np.testing.assert_array_equal(
+            restored.predict(subjects, relations, time=t), expected)
+
+    def test_restore_keeps_ingesting(self, dataset, tmp_path):
+        """A restored engine must accept further advance() calls."""
+        engine = _engine(dataset)
+        engine.preload(dataset, splits=("train",))
+        path = str(tmp_path / "engine_state")
+        save_engine_state(engine, path)
+        restored = _engine(dataset, seed=1)
+        load_engine_state(restored, path)
+        t = restored.next_time
+        restored.advance(np.array([[0, 0, 1]]), time=t)
+        assert restored.last_time == t
+        scores = restored.predict(np.array([0]), np.array([0]))
+        assert scores.shape == (1, dataset.num_entities)
+
+    def test_vocabulary_mismatch_rejected(self, dataset, tmp_path):
+        engine = _engine(dataset)
+        engine.advance(np.array([[0, 0, 1]]), time=0)
+        path = str(tmp_path / "engine_state")
+        save_engine_state(engine, path)
+        other = InferenceEngine(engine.model, dataset.num_entities + 1,
+                                dataset.num_relations, window=3)
+        with pytest.raises(ValueError, match="entities"):
+            other.restore_state({
+                "facts": engine.serving_state()["facts"],
+                "meta": engine.serving_state()["meta"]})
+
+    def test_plain_checkpoint_rejected_as_engine_state(self, dataset,
+                                                       tmp_path):
+        engine = _engine(dataset)
+        path = str(tmp_path / "plain")
+        save_checkpoint(engine.model, path)
+        with pytest.raises(ValueError, match="plain model checkpoint"):
+            load_engine_state(engine, path)
+
+    def test_engine_state_loadable_as_plain_checkpoint_fails_cleanly(
+            self, dataset, tmp_path):
+        """Reserved serving keys must not masquerade as parameters."""
+        engine = _engine(dataset)
+        engine.advance(np.array([[0, 0, 1]]), time=0)
+        path = str(tmp_path / "engine_state")
+        save_engine_state(engine, path)
+        with pytest.raises(KeyError):
+            load_checkpoint(engine.model, path)
