@@ -1,7 +1,7 @@
 # Convenience targets for the LogCL reproduction.
 
-.PHONY: install test test-fast bench bench-table3 serve-bench experiments \
-	clean-cache lint
+.PHONY: install test test-fast bench bench-table3 serve-bench eval-bench \
+	experiments clean-cache lint
 
 install:
 	pip install -e .
@@ -20,6 +20,9 @@ bench-table3:
 
 serve-bench:  ## serving latency: cached incremental inference vs cold recompute
 	pytest benchmarks/test_serving_latency.py --benchmark-only -s
+
+eval-bench:  ## filtered-ranking throughput: batched kernel vs per-query path
+	pytest benchmarks/test_eval_throughput.py --benchmark-only -s
 
 experiments:  ## rebuild EXPERIMENTS.md from benchmarks/results/
 	python benchmarks/aggregate_results.py

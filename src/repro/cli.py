@@ -139,14 +139,28 @@ def _serve_handle(engine, request: dict) -> dict:
                 "time": engine.next_time if time is None else int(time),
                 "results": [[[e, round(p, 6)] for e, p in row]
                             for row in results]}
+    if op == "rank":
+        queries = np.asarray(request["queries"], dtype=np.int64)
+        if queries.ndim != 2 or queries.shape[1] != 3:
+            raise ValueError("queries must be [[subject, relation, object], "
+                             "...]")
+        time = request.get("time")
+        filtered = bool(request.get("filtered", True))
+        ranks = engine.rank_queries(queries[:, 0], queries[:, 1],
+                                    queries[:, 2], time=time,
+                                    filtered=filtered)
+        return {"ok": True, "op": op,
+                "time": engine.next_time if time is None else int(time),
+                "filtered": filtered,
+                "ranks": [round(float(r), 6) for r in ranks]}
     if op == "stats":
         return {"ok": True, "op": op, "stats": engine.stats.as_dict()}
     if op == "save":
         save_engine_state(engine, request["path"],
                           metadata=request.get("metadata"))
         return {"ok": True, "op": op, "path": request["path"]}
-    raise ValueError(f"unknown op {op!r}; valid: advance, predict, stats, "
-                     "save")
+    raise ValueError(f"unknown op {op!r}; valid: advance, predict, rank, "
+                     "stats, save")
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -156,6 +170,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         {"op": "advance", "time": 80, "facts": [[s, r, o], ...]}
         {"op": "predict", "queries": [[s, r], ...], "topk": 5}
+        {"op": "rank", "queries": [[s, r, o], ...], "filtered": true}
         {"op": "stats"}
         {"op": "save", "path": "engine_state.npz"}
 

@@ -311,13 +311,13 @@ class LogCL(ExtrapolationModel):
         Used by the Table VI case study.  Probabilities are softmax over
         the full candidate set.
         """
+        # Local import: repro.eval pulls in the protocol module, which
+        # reaches back into repro.core during package initialization.
+        from ..eval.metrics import softmax_topk
         scores = self.predict(snapshots, query_time,
                               np.array([subject]), np.array([relation]),
                               global_edges)[0]
-        exp = np.exp(scores - scores.max())
-        probs = exp / exp.sum()
-        top = np.argsort(-probs)[:k]
-        return [(int(e), float(probs[e])) for e in top]
+        return softmax_topk(scores, k)
 
 
 def _multihot_labels(subjects: np.ndarray, relations: np.ndarray,

@@ -1,9 +1,10 @@
 """``repro.eval`` — MRR / Hits@k and the time-aware filtered protocol."""
 
 from .heuristics import FrequencyHeuristic, RecencyHeuristic
-from .metrics import RankingAccumulator, rank_of_target
+from .metrics import (RankingAccumulator, rank_of_target, ranks_of_targets,
+                      softmax_topk)
 from .protocol import FILTER_SETTINGS, evaluate, format_metric_row
 
-__all__ = ["RankingAccumulator", "rank_of_target",
-           "evaluate", "format_metric_row", "FILTER_SETTINGS",
-           "FrequencyHeuristic", "RecencyHeuristic"]
+__all__ = ["RankingAccumulator", "rank_of_target", "ranks_of_targets",
+           "softmax_topk", "evaluate", "format_metric_row",
+           "FILTER_SETTINGS", "FrequencyHeuristic", "RecencyHeuristic"]

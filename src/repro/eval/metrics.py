@@ -10,7 +10,7 @@ degenerate constant scorers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -21,6 +21,45 @@ def rank_of_target(scores: np.ndarray, target: int) -> float:
     greater = int((scores > target_score).sum())
     ties = int((scores == target_score).sum())  # includes the target itself
     return greater + (ties + 1) / 2.0
+
+
+def ranks_of_targets(scores: np.ndarray,
+                     targets: Sequence[int]) -> np.ndarray:
+    """1-based mean-tie ranks of per-row targets, in one broadcasted pass.
+
+    Vectorized equivalent of calling :func:`rank_of_target` on every row
+    of a ``(Q, |E|)`` score matrix — the comparison semantics (strictly-
+    greater count plus mean tie position, ``-inf`` ties included) are
+    identical, so the two agree bitwise.
+    """
+    scores = np.asarray(scores)
+    targets = np.asarray(targets, dtype=np.int64)
+    if scores.ndim != 2 or targets.ndim != 1 or len(scores) != len(targets):
+        raise ValueError(f"expected (Q, E) scores with Q aligned targets, "
+                         f"got {scores.shape} and {targets.shape}")
+    target_scores = scores[np.arange(len(targets)), targets][:, None]
+    greater = (scores > target_scores).sum(axis=1)
+    ties = (scores == target_scores).sum(axis=1)  # includes the target
+    return greater + (ties + 1) / 2.0
+
+
+def softmax_topk(scores: np.ndarray, k: int) -> List[Tuple[int, float]]:
+    """Top-k ``(entity, probability)`` pairs with a stable tie order.
+
+    The softmax is max-shifted over the finite entries; ``-inf`` scores
+    (filtered-out candidates) get probability zero.  Ties rank lower
+    entity ids first (stable sort), so repeated calls and the several
+    top-k front-ends (model, engine, micro-batcher) agree exactly.
+    """
+    scores = np.asarray(scores)
+    finite = np.isfinite(scores)
+    shift = scores[finite].max() if finite.any() else 0.0
+    exp = np.exp(np.where(finite, scores - shift, -np.inf))
+    total = exp.sum()
+    probs = (exp / total if total > 0
+             else np.full(len(scores), 1.0 / len(scores)))
+    top = np.argsort(-probs, kind="stable")[:k]
+    return [(int(e), float(probs[e])) for e in top]
 
 
 @dataclass
@@ -36,8 +75,14 @@ class RankingAccumulator:
 
     def add_batch(self, scores: np.ndarray, targets: Sequence[int]) -> None:
         """Rank a (Q, |E|) score matrix against per-row targets."""
-        for row, target in zip(scores, targets):
-            self.add(rank_of_target(row, int(target)))
+        self.add_ranks(ranks_of_targets(scores, targets))
+
+    def add_ranks(self, ranks: Sequence[float]) -> None:
+        """Append precomputed 1-based ranks (one per query)."""
+        ranks = np.asarray(ranks, dtype=float)
+        if len(ranks) and float(ranks.min()) < 1:
+            raise ValueError(f"ranks are 1-based, got {float(ranks.min())}")
+        self.ranks.extend(ranks.tolist())
 
     def merge(self, other: "RankingAccumulator") -> None:
         self.ranks.extend(other.ranks)

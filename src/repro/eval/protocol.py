@@ -19,7 +19,7 @@ from ..tkg.dataset import TKGDataset
 from ..tkg.filtering import StaticFilter, TimeAwareFilter
 from ..training.context import (PHASES, HistoryContext, TimestepBatch,
                                 iter_timestep_batches)
-from .metrics import RankingAccumulator, rank_of_target
+from .metrics import RankingAccumulator, rank_of_target, ranks_of_targets
 
 FILTER_SETTINGS = ("time-aware", "raw", "static")
 
@@ -40,17 +40,59 @@ class QueryRecord:
     rank: float
 
 
+def _batch_ranks_vectorized(scores: np.ndarray, batch: TimestepBatch,
+                            time_filter: Optional[TimeAwareFilter],
+                            static_filter: Optional[StaticFilter]
+                            ) -> np.ndarray:
+    """Filtered ranks for one batch via the packed-index kernel.
+
+    Competing true objects are struck to ``-inf`` with a single
+    fancy-index assignment on the ``(Q, |E|)`` matrix and all ranks come
+    out of one broadcasted comparison — no per-query score copies.
+    """
+    active = time_filter if time_filter is not None else static_filter
+    if active is not None:
+        rows, cols = active.mask_indices_for_batch(
+            batch.subjects, batch.relations, batch.time, batch.objects)
+        if len(rows):
+            scores = scores.copy()
+            scores[rows, cols] = -np.inf
+    return ranks_of_targets(scores, batch.objects)
+
+
+def _batch_ranks_per_query(scores: np.ndarray, batch: TimestepBatch,
+                           time_filter: Optional[TimeAwareFilter],
+                           static_filter: Optional[StaticFilter]
+                           ) -> np.ndarray:
+    """Legacy reference path: one score copy + scalar rank per query."""
+    ranks = np.empty(len(batch), dtype=float)
+    for row, (s, r, o) in enumerate(zip(batch.subjects, batch.relations,
+                                        batch.objects)):
+        query_scores = scores[row]
+        if time_filter is not None:
+            query_scores = time_filter.filter_scores(
+                query_scores, int(s), int(r), batch.time, int(o))
+        elif static_filter is not None:
+            query_scores = static_filter.filter_scores(
+                query_scores, int(s), int(r), int(o))
+        ranks[row] = rank_of_target(query_scores, int(o))
+    return ranks
+
+
 def evaluate(model: ExtrapolationModel, dataset: TKGDataset, split: str,
              context: Optional[HistoryContext] = None, window: int = 3,
              filter_setting: str = "time-aware",
              phases: Sequence[str] = PHASES,
-             records: Optional[List[QueryRecord]] = None) -> Dict[str, float]:
+             records: Optional[List[QueryRecord]] = None,
+             batched: bool = True) -> Dict[str, float]:
     """Evaluate ``model`` on one split and return the paper's metric row.
 
     Parameters
     ----------
     model:
-        Any :class:`repro.interface.ExtrapolationModel`.
+        Any :class:`repro.interface.ExtrapolationModel`.  Its train/eval
+        mode is restored on return, so live models owned by a serving
+        engine can be evaluated without clobbering their state.
     dataset, split:
         Benchmark and split name (``"valid"`` / ``"test"``).
     context:
@@ -65,6 +107,10 @@ def evaluate(model: ExtrapolationModel, dataset: TKGDataset, split: str,
         Optional list that, when provided, receives one
         :class:`QueryRecord` per evaluated query — the input to
         per-pattern analysis (:mod:`repro.analysis`).
+    batched:
+        Use the vectorized filter+rank kernel (default).  ``False``
+        selects the legacy per-query path; both produce bitwise-identical
+        ranks (asserted by the parity tests).
     """
     if filter_setting not in FILTER_SETTINGS:
         raise ValueError(f"filter_setting must be one of {FILTER_SETTINGS}")
@@ -79,26 +125,26 @@ def evaluate(model: ExtrapolationModel, dataset: TKGDataset, split: str,
     time_filter = TimeAwareFilter(augmented) if filter_setting == "time-aware" else None
     static_filter = StaticFilter(augmented) if filter_setting == "static" else None
 
+    was_training = bool(getattr(model, "training", False))
     model.eval()
+    rank_batch = _batch_ranks_vectorized if batched else _batch_ranks_per_query
     accumulator = RankingAccumulator()
     for batch in iter_timestep_batches(dataset, split, context, phases=phases):
         scores = model.predict_on(batch)
-        for row, (s, r, o) in enumerate(zip(batch.subjects, batch.relations,
-                                            batch.objects)):
-            query_scores = scores[row]
-            if time_filter is not None:
-                query_scores = time_filter.filter_scores(
-                    query_scores, int(s), int(r), batch.time, int(o))
-            elif static_filter is not None:
-                query_scores = static_filter.filter_scores(
-                    query_scores, int(s), int(r), int(o))
-            rank = rank_of_target(query_scores, int(o))
-            accumulator.add(rank)
-            if records is not None:
+        ranks = rank_batch(scores, batch, time_filter, static_filter)
+        accumulator.add_ranks(ranks)
+        if records is not None:
+            for row, (s, r, o) in enumerate(zip(batch.subjects,
+                                                batch.relations,
+                                                batch.objects)):
                 records.append(QueryRecord(
                     subject=int(s), relation=int(r), gold_object=int(o),
-                    time=batch.time, phase=batch.phase, rank=rank))
-    model.train()
+                    time=batch.time, phase=batch.phase,
+                    rank=float(ranks[row])))
+    if was_training:
+        model.train()
+    else:
+        model.eval()
     return accumulator.summary()
 
 

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..eval.metrics import softmax_topk
 from .engine import InferenceEngine
 
 
@@ -38,10 +39,7 @@ class PendingQuery:
         """Top-k ``(entity, probability)`` once the ticket is resolved."""
         if self.scores is None:
             raise RuntimeError("query not flushed yet")
-        exp = np.exp(self.scores - self.scores.max())
-        probs = exp / exp.sum()
-        top = np.argsort(-probs)[:k]
-        return [(int(e), float(probs[e])) for e in top]
+        return softmax_topk(self.scores, k)
 
 
 class MicroBatcher:

@@ -30,12 +30,14 @@ incremental on the history side, just without local-state reuse.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.subgraph import GlobalHistoryIndex
+from ..eval.metrics import ranks_of_targets, softmax_topk
 from ..nn import no_grad
 from ..tkg.dataset import Snapshot, TKGDataset
 from ..tkg.filtering import TimeAwareFilter
@@ -43,7 +45,7 @@ from ..tkg.quadruples import QuadrupleSet
 from .stats import ServingStats
 
 # Stage names used with ServingStats.time.
-STAGES = ("ingest", "local_state", "subgraph", "forward")
+STAGES = ("ingest", "local_state", "subgraph", "forward", "rank")
 
 
 class ServingBatch:
@@ -126,6 +128,7 @@ class InferenceEngine:
         self.stats = ServingStats()
         self.last_time: Optional[int] = None
         self._snapshots: Dict[int, Snapshot] = {}     # inverse-augmented
+        self._snap_times: List[int] = []              # sorted ingest times
         self._raw_facts: List[np.ndarray] = []        # original (k, 4) chunks
         self._index = GlobalHistoryIndex.empty()
         self.filter = TimeAwareFilter([])
@@ -196,6 +199,7 @@ class InferenceEngine:
                 [arr, np.full((len(arr), 1), time, dtype=np.int64)], axis=1)
             augmented = QuadrupleSet(quads).with_inverses(self.num_relations)
             self._snapshots[time] = Snapshot.from_array(time, augmented.array)
+            self._snap_times.append(time)   # strictly increasing => sorted
             self._raw_facts.append(quads)
             self._index.extend(augmented.array)
             self.filter.add_facts(augmented)
@@ -221,9 +225,15 @@ class InferenceEngine:
         return 0 if self.last_time is None else self.last_time + 1
 
     def window_before(self, query_time: int) -> List[Snapshot]:
-        """The local window: snapshots in ``[t - m, t)`` that exist."""
-        times = range(max(0, query_time - self.window), query_time)
-        return [self._snapshots[t] for t in times if t in self._snapshots]
+        """The last ``window`` ingested snapshots before ``query_time``.
+
+        Walks back over ingested snapshot times (matching
+        :meth:`repro.training.context.HistoryContext.window_before`), so
+        sparse streams with timestamp gaps keep a full local window.
+        """
+        end = bisect_left(self._snap_times, query_time)
+        start = max(0, end - self.window)
+        return [self._snapshots[t] for t in self._snap_times[start:end]]
 
     def _context(self, query_time: int) -> Dict:
         """Cached query-independent encoder state for ``query_time``."""
@@ -328,12 +338,37 @@ class InferenceEngine:
             if known:
                 scores = scores.copy()
                 scores[list(known)] = -np.inf
-        finite = scores[np.isfinite(scores)]
-        shift = finite.max() if len(finite) else 0.0
-        exp = np.exp(np.where(np.isfinite(scores), scores - shift, -np.inf))
-        probs = exp / exp.sum()
-        top = np.argsort(-probs)[:k]
-        return [(int(e), float(probs[e])) for e in top]
+        return softmax_topk(scores, k)
+
+    def rank_queries(self, subjects: np.ndarray, relations: np.ndarray,
+                     targets: np.ndarray, time: Optional[int] = None,
+                     filtered: bool = True) -> np.ndarray:
+        """Time-aware filtered ranks for a gold-labelled query batch.
+
+        The serving-side evaluation loop: scores come from
+        :meth:`predict` (so every engine cache applies), competing true
+        answers per the *ingested* facts are struck to ``-inf`` with one
+        packed fancy-index assignment
+        (:meth:`repro.tkg.filtering.TimeAwareFilter.mask_indices_for_batch`)
+        and all mean-tie ranks come out of one broadcasted pass
+        (:func:`repro.eval.metrics.ranks_of_targets`) — no per-query
+        score copies.  The ``rank`` stage and ``queries_ranked`` counter
+        record the cost in :attr:`stats`.
+        """
+        targets = np.ascontiguousarray(targets, dtype=np.int64)
+        query_time = self.next_time if time is None else int(time)
+        scores = self.predict(subjects, relations, time=query_time)
+        with self.stats.time("rank"):
+            if filtered:
+                rows, cols = self.filter.mask_indices_for_batch(
+                    subjects, relations, query_time, targets)
+                if len(rows):
+                    # predict() already handed us a private array (memo
+                    # hits return a copy), so strike in place.
+                    scores[rows, cols] = -np.inf
+            ranks = ranks_of_targets(scores, targets)
+        self.stats.incr("queries_ranked", len(targets))
+        return ranks
 
     # -- persistence ----------------------------------------------------
     def serving_state(self) -> Dict[str, np.ndarray]:
@@ -359,6 +394,7 @@ class InferenceEngine:
         self.window = int(meta[2])
         self.last_time = None
         self._snapshots.clear()
+        self._snap_times = []
         self._raw_facts = []
         self._index = GlobalHistoryIndex.empty()
         self.filter = TimeAwareFilter([])

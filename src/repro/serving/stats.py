@@ -9,6 +9,7 @@ bench can emit it as JSON without further massaging.
 
 from __future__ import annotations
 
+import math
 import time
 from collections import defaultdict, deque
 from contextlib import contextmanager
@@ -37,11 +38,17 @@ class StageStats:
         self.recent.append(seconds)
 
     def percentile(self, q: float) -> float:
-        """Empirical q-quantile (0..1) over the retained samples."""
+        """Empirical q-quantile (0..1), nearest-rank, over retained samples.
+
+        Nearest-rank is ``ceil(q*n)`` 1-based: the smallest sample with at
+        least a ``q`` fraction of the data at or below it (so p50 of an
+        even-sized sample is the *lower* middle value, not the upper).
+        """
         if not self.recent:
             return 0.0
         ordered = sorted(self.recent)
-        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        rank = min(len(ordered) - 1,
+                   max(0, math.ceil(q * len(ordered)) - 1))
         return ordered[rank]
 
     def as_dict(self) -> Dict[str, float]:

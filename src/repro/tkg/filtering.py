@@ -10,12 +10,32 @@ nothing.  All three are provided.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, Set, Tuple
+from collections import OrderedDict, defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 import numpy as np
 
 from .quadruples import QuadrupleSet
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+# Packed mask-index batches retained per filter.  Mask indices depend
+# only on the query batch and the indexed facts — not on scores — so one
+# build serves every rescoring of the same batch (trainer eval epochs,
+# per-model benchmark tables, serving evaluation loops).
+_MASK_CACHE_SIZE = 4096
+
+
+def _pack_mask_indices(per_row_cols: List[np.ndarray],
+                       row_lengths: List[Tuple[int, int]]
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate per-row column lists into packed (rows, cols) arrays."""
+    if not per_row_cols:
+        return _EMPTY, _EMPTY.copy()
+    cols = np.concatenate(per_row_cols)
+    rows = np.repeat(np.asarray([r for r, _ in row_lengths], dtype=np.int64),
+                     np.asarray([n for _, n in row_lengths], dtype=np.int64))
+    return rows, cols
 
 
 class TimeAwareFilter:
@@ -29,10 +49,68 @@ class TimeAwareFilter:
                 index[(int(s), int(r), int(t))].add(int(o))
         self._index: Dict[Tuple[int, int, int], FrozenSet[int]] = {
             key: frozenset(vals) for key, vals in index.items()}
+        self._arrays: Dict[Tuple[int, int, int], np.ndarray] = {}
+        self._mask_cache: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" \
+            = OrderedDict()
 
     def true_objects(self, s: int, r: int, t: int) -> FrozenSet[int]:
         """All objects o such that (s, r, o, t) is a known fact."""
         return self._index.get((s, r, t), frozenset())
+
+    def _objects_array(self, key: Tuple[int, int, int]) -> np.ndarray:
+        """Sorted array view of one key's true objects (memoized)."""
+        cached = self._arrays.get(key)
+        if cached is None:
+            objs = self._index.get(key)
+            cached = (np.fromiter(sorted(objs), dtype=np.int64, count=len(objs))
+                      if objs else _EMPTY)
+            self._arrays[key] = cached
+        return cached
+
+    def mask_indices_for_batch(self, subjects: Sequence[int],
+                               relations: Sequence[int], time: int,
+                               targets: Sequence[int]
+                               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Packed ``(rows, cols)`` indices of competing true objects.
+
+        For query row ``i`` = ``(subjects[i], relations[i], ?, time)`` the
+        column entries are ``true_objects(s_i, r_i, time) - {targets[i]}``.
+        One fancy-index assignment ``scores[rows, cols] = -inf`` then
+        applies the time-aware filter to the whole ``(Q, |E|)`` score
+        matrix without per-query copies.
+
+        The packed arrays are built once per distinct batch and memoized
+        (they depend on the queries and the indexed facts, never on
+        scores); callers must treat them as read-only.
+        """
+        subjects = np.ascontiguousarray(subjects, dtype=np.int64)
+        relations = np.ascontiguousarray(relations, dtype=np.int64)
+        targets = np.ascontiguousarray(targets, dtype=np.int64)
+        time = int(time)
+        key = (time, subjects.tobytes(), relations.tobytes(),
+               targets.tobytes())
+        cached = self._mask_cache.get(key)
+        if cached is not None:
+            self._mask_cache.move_to_end(key)
+            return cached
+        per_row: List[np.ndarray] = []
+        lengths: List[Tuple[int, int]] = []
+        for row, (s, r, o) in enumerate(zip(subjects.tolist(),
+                                            relations.tolist(),
+                                            targets.tolist())):
+            cols = self._objects_array((s, r, time))
+            if not len(cols):
+                continue
+            cols = cols[cols != o]
+            if not len(cols):
+                continue
+            per_row.append(cols)
+            lengths.append((row, len(cols)))
+        packed = _pack_mask_indices(per_row, lengths)
+        self._mask_cache[key] = packed
+        if len(self._mask_cache) > _MASK_CACHE_SIZE:
+            self._mask_cache.popitem(last=False)
+        return packed
 
     def add_facts(self, facts) -> None:
         """Incrementally index newly revealed facts.
@@ -48,6 +126,8 @@ class TimeAwareFilter:
             fresh[(int(s), int(r), int(t))].add(int(o))
         for key, objs in fresh.items():
             self._index[key] = self._index.get(key, frozenset()) | objs
+            self._arrays.pop(key, None)
+        self._mask_cache.clear()
 
     def filter_scores(self, scores: np.ndarray, s: int, r: int, t: int,
                       target: int) -> np.ndarray:
@@ -78,9 +158,58 @@ class StaticFilter:
                 index[(int(s), int(r))].add(int(o))
         self._index: Dict[Tuple[int, int], FrozenSet[int]] = {
             key: frozenset(vals) for key, vals in index.items()}
+        self._arrays: Dict[Tuple[int, int], np.ndarray] = {}
+        self._mask_cache: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" \
+            = OrderedDict()
 
     def true_objects(self, s: int, r: int) -> FrozenSet[int]:
         return self._index.get((s, r), frozenset())
+
+    def mask_indices_for_batch(self, subjects: Sequence[int],
+                               relations: Sequence[int], time: int,
+                               targets: Sequence[int]
+                               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Packed ``(rows, cols)`` indices of competing true objects.
+
+        Signature-compatible with
+        :meth:`TimeAwareFilter.mask_indices_for_batch` so ranking code can
+        treat both filters uniformly; ``time`` is ignored (this filter
+        strikes true objects at *any* timestamp).  Built once per
+        distinct batch and memoized; callers must treat the returned
+        arrays as read-only.
+        """
+        subjects = np.ascontiguousarray(subjects, dtype=np.int64)
+        relations = np.ascontiguousarray(relations, dtype=np.int64)
+        targets = np.ascontiguousarray(targets, dtype=np.int64)
+        key = (subjects.tobytes(), relations.tobytes(), targets.tobytes())
+        cached = self._mask_cache.get(key)
+        if cached is not None:
+            self._mask_cache.move_to_end(key)
+            return cached
+        per_row: List[np.ndarray] = []
+        lengths: List[Tuple[int, int]] = []
+        for row, (s, r, o) in enumerate(zip(subjects.tolist(),
+                                            relations.tolist(),
+                                            targets.tolist())):
+            pair = (s, r)
+            cols = self._arrays.get(pair)
+            if cols is None:
+                objs = self._index.get(pair)
+                cols = (np.fromiter(sorted(objs), dtype=np.int64,
+                                    count=len(objs)) if objs else _EMPTY)
+                self._arrays[pair] = cols
+            if not len(cols):
+                continue
+            cols = cols[cols != o]
+            if not len(cols):
+                continue
+            per_row.append(cols)
+            lengths.append((row, len(cols)))
+        packed = _pack_mask_indices(per_row, lengths)
+        self._mask_cache[key] = packed
+        if len(self._mask_cache) > _MASK_CACHE_SIZE:
+            self._mask_cache.popitem(last=False)
+        return packed
 
     def filter_scores(self, scores: np.ndarray, s: int, r: int,
                       target: int) -> np.ndarray:

@@ -55,39 +55,53 @@ class HistoryContext:
         self._snap_by_time: Dict[int, Snapshot] = {
             t: Snapshot.from_array(t, arr)
             for t, arr in augmented.group_by_time().items()}
+        self._snap_times = np.array(sorted(self._snap_by_time),
+                                    dtype=np.int64)
         self._augmented = augmented
         self.reset()
 
     def reset(self) -> None:
         """Rewind the monotonic global index (call at each epoch start)."""
         self.global_index = GlobalHistoryIndex(self._augmented)
-        self._subgraph_cache: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._subgraph_cache: Dict[Tuple[int, bytes, bytes],
+                                   Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     def window_before(self, query_time: int) -> List[Snapshot]:
-        """The last ``window`` non-empty snapshots before ``query_time``."""
-        times = range(max(0, query_time - self.window), query_time)
-        return [self._snap_by_time[t] for t in times if t in self._snap_by_time]
+        """The last ``window`` non-empty snapshots before ``query_time``.
+
+        Walks back over *existing* snapshot times, so streams with
+        timestamp gaps (sparse long-gap tracks) still fill the full
+        window — the paper's "latest m snapshots" (§III-C), not the last
+        m raw timestamps.
+        """
+        end = int(np.searchsorted(self._snap_times, query_time, side="left"))
+        start = max(0, end - self.window)
+        return [self._snap_by_time[int(t)]
+                for t in self._snap_times[start:end]]
 
     def global_edges(self, query_time: int, subjects: np.ndarray,
                      relations: np.ndarray
                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Merged historical query subgraph for a batch (cached per t).
+        """Merged historical query subgraph for a batch (cached per batch).
 
-        The cache key is the timestamp: forward and inverse phases share
-        one merged subgraph (their query sets are mirror images, and the
-        index already contains the inverse edges).
+        The cache key includes the query pairs, not just the timestamp:
+        the §III-D subgraph is seeded from each query's ``(s, r)`` and its
+        historical answers, so the forward and inverse phases of one
+        timestamp seed *different* subgraphs and may not share one merged
+        edge set.  Identical repeated batches still hit the cache.
         """
-        if query_time not in self._subgraph_cache:
+        key = (query_time, subjects.tobytes(), relations.tobytes())
+        if key not in self._subgraph_cache:
             self.global_index.advance_to(query_time)
             pairs = list(zip(subjects.tolist(), relations.tolist()))
             # Deduplicated edges measure better than multiplicity-weighted
             # ones at bench scale (the repeated edges over-smooth the
             # R-GCN aggregation); subgraph_for_queries exposes both.
-            self._subgraph_cache[query_time] = (
+            self._subgraph_cache[key] = (
                 self.global_index.subgraph_for_queries(pairs,
                                                        deduplicate=True))
-        return self._subgraph_cache[query_time]
+        return self._subgraph_cache[key]
 
 
 @dataclass

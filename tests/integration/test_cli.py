@@ -113,6 +113,20 @@ class TestServe:
         assert os.path.exists(state_path)
         assert not bad["ok"] and "unknown op" in bad["error"]
 
+    def test_rank_op_returns_filtered_ranks(self, checkpoint, capsys):
+        responses = self._serve(checkpoint, [
+            {"op": "rank", "queries": [[0, 0, 1], [2, 1, 3]]},
+            {"op": "rank", "queries": [[0, 0, 1]], "filtered": False},
+            {"op": "stats"},
+        ], capsys)
+        _, filtered, raw, stats = responses
+        assert filtered["ok"] and filtered["filtered"] is True
+        assert len(filtered["ranks"]) == 2
+        assert all(r >= 1.0 for r in filtered["ranks"])
+        assert raw["ok"] and raw["filtered"] is False
+        assert len(raw["ranks"]) == 1
+        assert stats["stats"]["counters"]["queries_ranked"] == 3
+
     def test_bad_request_does_not_kill_loop(self, checkpoint, capsys):
         responses = self._serve(checkpoint, [
             {"op": "advance", "facts": [[0, 0]]},          # malformed

@@ -184,3 +184,61 @@ class TestEngineContracts:
         for stage in payload["stages"].values():
             assert {"count", "mean_ms", "p50_ms", "p95_ms"} <= set(stage)
         assert payload["counters"]["queries_served"] == len(facts)
+
+
+class TestSparseWindows:
+    def test_window_spans_ingest_gaps(self, logcl, dataset):
+        """Sparse streams keep a full window of the last m ingested
+        snapshots (matching HistoryContext.window_before), not the last
+        m raw timestamps."""
+        engine = InferenceEngine(logcl, dataset.num_entities,
+                                 dataset.num_relations, window=2)
+        for t in (0, 5, 10):
+            engine.advance(np.array([[0, 0, 1]]), time=t)
+        assert [s.time for s in engine.window_before(11)] == [5, 10]
+        assert [s.time for s in engine.window_before(10)] == [0, 5]
+        assert [s.time for s in engine.window_before(5)] == [0]
+        assert engine.window_before(0) == []
+
+    def test_window_survives_state_roundtrip(self, logcl, dataset):
+        engine = InferenceEngine(logcl, dataset.num_entities,
+                                 dataset.num_relations, window=2)
+        for t in (0, 5, 10):
+            engine.advance(np.array([[0, 0, 1]]), time=t)
+        state = engine.serving_state()
+        restored = InferenceEngine(logcl, dataset.num_entities,
+                                   dataset.num_relations, window=2)
+        restored.restore_state(state)
+        assert [s.time for s in restored.window_before(11)] == [5, 10]
+
+
+class TestRankQueries:
+    def test_matches_per_query_filter_and_rank(self, logcl, dataset):
+        from repro.eval.metrics import rank_of_target
+        engine = _fresh_engine(logcl, dataset)
+        t = int(dataset.test.timestamps()[0])
+        facts = dataset.test.at_time(t).array
+        subjects, relations = facts[:, 0].copy(), facts[:, 1].copy()
+        targets = facts[:, 2].copy()
+        ranks = engine.rank_queries(subjects, relations, targets, time=t)
+        scores = engine.predict(subjects, relations, time=t)
+        expected = [rank_of_target(
+            engine.filter.filter_scores(row, int(s), int(r), t, int(o)),
+            int(o)) for row, s, r, o in zip(scores, subjects, relations,
+                                            targets)]
+        np.testing.assert_array_equal(ranks, expected)
+        assert engine.stats.counters["queries_ranked"] == len(targets)
+        assert "rank" in engine.stats.stages
+
+    def test_unfiltered_ranks_raw_scores(self, logcl, dataset):
+        from repro.eval.metrics import ranks_of_targets
+        engine = _fresh_engine(logcl, dataset)
+        t = int(dataset.test.timestamps()[0])
+        facts = dataset.test.at_time(t).array
+        subjects, relations = facts[:, 0].copy(), facts[:, 1].copy()
+        targets = facts[:, 2].copy()
+        ranks = engine.rank_queries(subjects, relations, targets, time=t,
+                                    filtered=False)
+        scores = engine.predict(subjects, relations, time=t)
+        np.testing.assert_array_equal(ranks,
+                                      ranks_of_targets(scores, targets))

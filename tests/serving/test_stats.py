@@ -1,0 +1,57 @@
+"""Tests for ServingStats / StageStats (nearest-rank percentiles)."""
+
+from repro.serving.stats import ServingStats, StageStats
+
+
+class TestPercentile:
+    def test_p50_of_even_sample_is_lower_middle(self):
+        stage = StageStats()
+        for v in (4.0, 1.0, 3.0, 2.0):
+            stage.add(v)
+        # nearest-rank: ceil(0.5 * 4) = 2nd smallest, not the 3rd.
+        assert stage.percentile(0.50) == 2.0
+
+    def test_p50_of_odd_sample_is_middle(self):
+        stage = StageStats()
+        for v in (1.0, 2.0, 3.0):
+            stage.add(v)
+        assert stage.percentile(0.50) == 2.0
+
+    def test_p95_of_hundred_samples(self):
+        stage = StageStats()
+        for v in range(1, 101):
+            stage.add(float(v))
+        assert stage.percentile(0.95) == 95.0
+
+    def test_extremes_clamp_to_min_and_max(self):
+        stage = StageStats()
+        for v in (5.0, 1.0, 9.0):
+            stage.add(v)
+        assert stage.percentile(0.0) == 1.0
+        assert stage.percentile(1.0) == 9.0
+
+    def test_empty_stage_is_zero(self):
+        assert StageStats().percentile(0.5) == 0.0
+
+    def test_single_sample(self):
+        stage = StageStats()
+        stage.add(7.0)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert stage.percentile(q) == 7.0
+
+
+class TestServingStats:
+    def test_timing_context_feeds_percentiles(self):
+        stats = ServingStats()
+        for _ in range(4):
+            with stats.time("forward"):
+                pass
+        d = stats.stages["forward"].as_dict()
+        assert d["count"] == 4
+        assert d["p50_ms"] <= d["p95_ms"] <= d["max_ms"]
+
+    def test_hit_rate(self):
+        stats = ServingStats()
+        stats.incr("score_cache_hits", 3)
+        stats.incr("score_cache_misses", 1)
+        assert stats.hit_rate("score_cache") == 0.75

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.subgraph import GlobalHistoryIndex
 from repro.datasets import tiny
 from repro.tkg import QuadrupleSet, TKGDataset
 from repro.training import HistoryContext, iter_timestep_batches
@@ -11,6 +12,16 @@ from repro.training import HistoryContext, iter_timestep_batches
 @pytest.fixture(scope="module")
 def dataset():
     return tiny()
+
+
+def gapped_dataset():
+    """A sparse stream: snapshots only at t = 0, 7, 15, 20, 30."""
+    train = QuadrupleSet.from_quads(
+        [(0, 0, 1, 0), (1, 0, 2, 7), (2, 0, 3, 15)])
+    valid = QuadrupleSet.from_quads([(0, 0, 2, 20)])
+    test = QuadrupleSet.from_quads([(1, 0, 3, 30)])
+    return TKGDataset("gapped", train, valid, test,
+                      num_entities=4, num_relations=1)
 
 
 class TestHistoryContext:
@@ -51,6 +62,49 @@ class TestHistoryContext:
         ctx = HistoryContext(dataset, window=2, extra_facts=extra)
         snaps = ctx.window_before(dataset.num_timestamps + 4)
         assert any(s.time == dataset.num_timestamps + 3 for s in snaps)
+
+    def test_window_spans_timestamp_gaps(self):
+        """Sparse streams keep a full window of the last m *non-empty*
+        snapshots (paper's "latest m snapshots"), not the last m raw
+        timestamps."""
+        ctx = HistoryContext(gapped_dataset(), window=3)
+        assert [s.time for s in ctx.window_before(30)] == [7, 15, 20]
+        assert [s.time for s in ctx.window_before(16)] == [0, 7, 15]
+        assert [s.time for s in ctx.window_before(15)] == [0, 7]
+        assert [s.time for s in ctx.window_before(7)] == [0]
+        assert ctx.window_before(0) == []
+
+    def test_window_gap_respects_window_length(self):
+        ctx = HistoryContext(gapped_dataset(), window=2)
+        assert [s.time for s in ctx.window_before(31)] == [20, 30]
+
+    def test_inverse_phase_subgraph_covers_inverse_seeds(self, dataset):
+        """Regression: the subgraph cache used to be keyed by timestamp
+        only, handing the inverse phase the *forward* phase's subgraph
+        even though the §III-D seeds — (s, r) and its historical answers
+        — differ between phases."""
+        ctx = HistoryContext(dataset, window=2)
+        batches = list(iter_timestep_batches(dataset, "test", ctx))
+        checked_distinct = False
+        for fwd, inv in zip(batches[0::2], batches[1::2]):
+            assert fwd.phase == "forward" and inv.phase == "inverse"
+            fwd_edges = fwd.global_edges
+            inv_edges = inv.global_edges
+            # The inverse batch's subgraph must equal the one seeded from
+            # the *inverse* query pairs, computed on an independent index.
+            reference = GlobalHistoryIndex(
+                dataset.all_facts().with_inverses(dataset.num_relations))
+            reference.advance_to(inv.time)
+            expected = reference.subgraph_for_queries(
+                list(zip(inv.subjects.tolist(), inv.relations.tolist())),
+                deduplicate=True)
+            for got, want in zip(inv_edges, expected):
+                np.testing.assert_array_equal(got, want)
+            if any(len(a) != len(b) or not np.array_equal(a, b)
+                   for a, b in zip(fwd_edges, inv_edges)):
+                checked_distinct = True
+        # The fix is vacuous unless the phases actually disagree somewhere.
+        assert checked_distinct
 
 
 class TestTimestepBatches:
