@@ -1,7 +1,8 @@
 # Convenience targets for the LogCL reproduction.
 
 .PHONY: install test test-fast bench bench-table3 serve-bench eval-bench \
-	experiments clean-cache lint
+	train-telemetry-bench trace-demo experiments clean-cache lint \
+	lint-private
 
 install:
 	pip install -e .
@@ -24,11 +25,32 @@ serve-bench:  ## serving latency: cached incremental inference vs cold recompute
 eval-bench:  ## filtered-ranking throughput: batched kernel vs per-query path
 	pytest benchmarks/test_eval_throughput.py --benchmark-only -s
 
+train-telemetry-bench:  ## telemetry overhead (<5%) and span coverage (>=95%)
+	pytest benchmarks/test_train_telemetry.py --benchmark-only -s
+
+trace-demo:  ## train two quick epochs with --trace and show the JSONL events
+	PYTHONPATH=src python -m repro train --model logcl --dataset tiny \
+		--dim 16 --epochs 2 --eval-every 1 --quiet \
+		--trace trace_demo.jsonl
+	@echo "--- first trace events ---"
+	@head -n 8 trace_demo.jsonl
+	@echo "... ($$(wc -l < trace_demo.jsonl) events in trace_demo.jsonl)"
+
 experiments:  ## rebuild EXPERIMENTS.md from benchmarks/results/
 	python benchmarks/aggregate_results.py
 
 clean-cache:  ## force full retraining of all benchmark models
 	rm -rf benchmarks/.cache benchmarks/results
 
-lint:
+lint: lint-private
 	python -m pyflakes src/repro || true
+
+lint-private:  ## no reaching into GlobalHistoryIndex internals from outside
+	@! grep -rnE '\._(facts|buffer|cursor|answers|facts_of_entity)\b' \
+		src tests benchmarks examples \
+		--include='*.py' \
+		--exclude=subgraph.py \
+		| grep -v 'self\._' \
+		|| { echo 'private GlobalHistoryIndex attribute accessed outside'\
+		' repro/core/subgraph.py (use facts_since / the public API)'; \
+		exit 1; }

@@ -24,6 +24,7 @@ Package map
 ``repro.eval``       MRR/Hits@k with time-aware filtering
 ``repro.training``   offline trainer, online protocol, checkpoints
 ``repro.serving``    incremental online inference engine + micro-batcher
+``repro.obs``        process-wide telemetry: counters, spans, JSONL traces
 ``repro.robustness`` Gaussian-noise sweeps
 """
 
@@ -33,6 +34,7 @@ from .training import (HistoryContext, OnlineConfig, TrainConfig, Trainer,
                        TrainResult, evaluate_online)
 from .serving import InferenceEngine, MicroBatcher, ServingStats
 from .eval import evaluate, format_metric_row
+from .obs import Telemetry, get_telemetry
 
 __version__ = "1.0.0"
 
@@ -42,5 +44,6 @@ __all__ = [
     "OnlineConfig", "evaluate_online",
     "InferenceEngine", "MicroBatcher", "ServingStats",
     "evaluate", "format_metric_row",
+    "Telemetry", "get_telemetry",
     "__version__",
 ]

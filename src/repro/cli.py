@@ -25,6 +25,7 @@ from .analysis import (compute_statistics, format_pattern_table,
                        format_statistics_table, per_pattern_metrics)
 from .datasets import load_preset, preset_names
 from .eval import evaluate, format_metric_row
+from .obs import NULL_TELEMETRY, get_telemetry
 from .registry import build_model, model_names
 from .robustness import noise_sweep
 from .tkg import load_benchmark_directory, save_benchmark_directory
@@ -56,9 +57,20 @@ def _cmd_train(args: argparse.Namespace) -> int:
                                   eval_every=args.eval_every,
                                   patience=args.patience,
                                   verbose=not args.quiet))
-    result = trainer.fit(model, dataset)
-    metrics = trainer.test(model, dataset)
+    telemetry = NULL_TELEMETRY
+    if args.trace:
+        telemetry = get_telemetry("train")
+        telemetry.reset()
+        telemetry.attach_trace(args.trace)
+    result = trainer.fit(model, dataset, telemetry=telemetry)
+    metrics = trainer.test(model, dataset, telemetry=telemetry)
     print(format_metric_row(args.model, metrics))
+    if args.trace:
+        telemetry.detach_trace()
+        print(f"trace written to {args.trace}")
+        if not args.quiet:
+            for line in telemetry.summary_lines():
+                print(line)
     if args.out:
         save_checkpoint(model, args.out, metadata={
             "model": args.model, "dataset": args.dataset, "dim": args.dim,
@@ -246,6 +258,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--eval-every", type=int, default=4)
     p_train.add_argument("--patience", type=int, default=4)
     p_train.add_argument("--out", help="checkpoint output path (.npz)")
+    p_train.add_argument("--trace",
+                         help="write a repro.obs JSONL trace of the run "
+                              "(epoch/train/eval spans, grad/param norms)")
     p_train.add_argument("--quiet", action="store_true")
     p_train.set_defaults(func=_cmd_train)
 

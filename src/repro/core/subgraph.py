@@ -103,6 +103,19 @@ class GlobalHistoryIndex:
         self._cursor = end
         self.horizon = query_time
 
+    def facts_since(self, t: int) -> np.ndarray:
+        """Indexed facts with timestamp ``>= t``, as a read-only slice.
+
+        "Indexed" means facts already pulled in by :meth:`advance_to`
+        (``time < horizon``) — the public way to walk recently revealed
+        history incrementally (e.g. the recency heuristic) without
+        touching the index's private buffers.  The returned ``(k, 4)``
+        array is a view; callers must not mutate it.
+        """
+        indexed = self._buffer[:self._cursor]
+        start = int(np.searchsorted(indexed[:, 3], t, side="left"))
+        return indexed[start:]
+
     def historical_answers(self, subject: int, relation: int) -> Set[int]:
         """Objects o with (subject, relation, o) observed before horizon."""
         return set(self._answers.get((subject, relation), ()))

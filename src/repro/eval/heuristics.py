@@ -54,6 +54,7 @@ class RecencyHeuristic(ExtrapolationModel):
         self.num_entities = num_entities
         self._last_seen = {}
         self._horizon = -1
+        self._source_index = None
 
     def predict_on(self, batch) -> np.ndarray:
         self._ingest(batch)
@@ -64,16 +65,21 @@ class RecencyHeuristic(ExtrapolationModel):
         return scores
 
     def _ingest(self, batch) -> None:
-        """Record last-seen times from the shared history index facts."""
+        """Record last-seen times from the shared history index facts.
+
+        State accumulates incrementally while the same history index
+        advances forward; when the batch carries a *different* index (a
+        fresh evaluation pass, possibly on another dataset) or one whose
+        horizon rewound, the accumulated ``_last_seen`` map would poison
+        the new run, so it is rebuilt from scratch.
+        """
         index = batch.history_index
+        if index is not self._source_index or index.horizon < self._horizon:
+            self._last_seen = {}
+            self._horizon = -1
+            self._source_index = index
         # walk only the newly indexed facts since the previous call
-        facts = index._facts[:index.num_indexed_facts]
-        if self._horizon < 0:
-            start = 0
-        else:
-            start = int(np.searchsorted(facts[:, 3], self._horizon,
-                                        side="left"))
-        for s, r, o, t in facts[start:]:
+        for s, r, o, t in index.facts_since(self._horizon):
             self._last_seen.setdefault((int(s), int(r)), {})[int(o)] = int(t)
         self._horizon = batch.time
 

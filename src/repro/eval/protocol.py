@@ -10,18 +10,23 @@ are also available for comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional, Sequence
 
 from ..interface import ExtrapolationModel
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..tkg.dataset import TKGDataset
 from ..tkg.filtering import StaticFilter, TimeAwareFilter
-from ..training.context import (PHASES, HistoryContext, TimestepBatch,
+from ..training.context import (PHASES, HistoryContext,
                                 iter_timestep_batches)
-from .metrics import RankingAccumulator, rank_of_target, ranks_of_targets
+from .metrics import RankingAccumulator
+from .ranking import batch_ranks_per_query, batch_ranks_vectorized
 
 FILTER_SETTINGS = ("time-aware", "raw", "static")
+
+# Backwards-compatible aliases: the kernels moved to repro.eval.ranking
+# so the online protocol can share them without an import cycle.
+_batch_ranks_vectorized = batch_ranks_vectorized
+_batch_ranks_per_query = batch_ranks_per_query
 
 
 @dataclass(frozen=True)
@@ -40,51 +45,13 @@ class QueryRecord:
     rank: float
 
 
-def _batch_ranks_vectorized(scores: np.ndarray, batch: TimestepBatch,
-                            time_filter: Optional[TimeAwareFilter],
-                            static_filter: Optional[StaticFilter]
-                            ) -> np.ndarray:
-    """Filtered ranks for one batch via the packed-index kernel.
-
-    Competing true objects are struck to ``-inf`` with a single
-    fancy-index assignment on the ``(Q, |E|)`` matrix and all ranks come
-    out of one broadcasted comparison — no per-query score copies.
-    """
-    active = time_filter if time_filter is not None else static_filter
-    if active is not None:
-        rows, cols = active.mask_indices_for_batch(
-            batch.subjects, batch.relations, batch.time, batch.objects)
-        if len(rows):
-            scores = scores.copy()
-            scores[rows, cols] = -np.inf
-    return ranks_of_targets(scores, batch.objects)
-
-
-def _batch_ranks_per_query(scores: np.ndarray, batch: TimestepBatch,
-                           time_filter: Optional[TimeAwareFilter],
-                           static_filter: Optional[StaticFilter]
-                           ) -> np.ndarray:
-    """Legacy reference path: one score copy + scalar rank per query."""
-    ranks = np.empty(len(batch), dtype=float)
-    for row, (s, r, o) in enumerate(zip(batch.subjects, batch.relations,
-                                        batch.objects)):
-        query_scores = scores[row]
-        if time_filter is not None:
-            query_scores = time_filter.filter_scores(
-                query_scores, int(s), int(r), batch.time, int(o))
-        elif static_filter is not None:
-            query_scores = static_filter.filter_scores(
-                query_scores, int(s), int(r), int(o))
-        ranks[row] = rank_of_target(query_scores, int(o))
-    return ranks
-
-
 def evaluate(model: ExtrapolationModel, dataset: TKGDataset, split: str,
              context: Optional[HistoryContext] = None, window: int = 3,
              filter_setting: str = "time-aware",
              phases: Sequence[str] = PHASES,
              records: Optional[List[QueryRecord]] = None,
-             batched: bool = True) -> Dict[str, float]:
+             batched: bool = True,
+             telemetry: Telemetry = NULL_TELEMETRY) -> Dict[str, float]:
     """Evaluate ``model`` on one split and return the paper's metric row.
 
     Parameters
@@ -111,28 +78,41 @@ def evaluate(model: ExtrapolationModel, dataset: TKGDataset, split: str,
         Use the vectorized filter+rank kernel (default).  ``False``
         selects the legacy per-query path; both produce bitwise-identical
         ranks (asserted by the parity tests).
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`; when given, the pass
+        records ``context_build`` (history/filter construction),
+        ``forward`` (model scoring, including lazy window/subgraph
+        materialization) and ``rank`` (filtered ranking) spans plus a
+        ``queries_evaluated`` counter.  Defaults to the inert null
+        telemetry.
     """
     if filter_setting not in FILTER_SETTINGS:
         raise ValueError(f"filter_setting must be one of {FILTER_SETTINGS}")
-    if context is None:
-        context = HistoryContext(dataset, window=window)
-    context.reset()
+    with telemetry.span("context_build"):
+        if context is None:
+            context = HistoryContext(dataset, window=window)
+        context.reset()
 
-    # Filters must see the inverse-augmented facts of every split so that
-    # inverse-phase queries are filtered symmetrically.
-    augmented = [quads.with_inverses(dataset.num_relations)
-                 for quads in dataset.splits().values()]
-    time_filter = TimeAwareFilter(augmented) if filter_setting == "time-aware" else None
-    static_filter = StaticFilter(augmented) if filter_setting == "static" else None
+        # Filters must see the inverse-augmented facts of every split so
+        # that inverse-phase queries are filtered symmetrically.
+        augmented = [quads.with_inverses(dataset.num_relations)
+                     for quads in dataset.splits().values()]
+        time_filter = (TimeAwareFilter(augmented)
+                       if filter_setting == "time-aware" else None)
+        static_filter = (StaticFilter(augmented)
+                         if filter_setting == "static" else None)
 
     was_training = bool(getattr(model, "training", False))
     model.eval()
-    rank_batch = _batch_ranks_vectorized if batched else _batch_ranks_per_query
+    rank_batch = batch_ranks_vectorized if batched else batch_ranks_per_query
     accumulator = RankingAccumulator()
     for batch in iter_timestep_batches(dataset, split, context, phases=phases):
-        scores = model.predict_on(batch)
-        ranks = rank_batch(scores, batch, time_filter, static_filter)
+        with telemetry.span("forward"):
+            scores = model.predict_on(batch)
+        with telemetry.span("rank"):
+            ranks = rank_batch(scores, batch, time_filter, static_filter)
         accumulator.add_ranks(ranks)
+        telemetry.incr("queries_evaluated", len(batch))
         if records is not None:
             for row, (s, r, o) in enumerate(zip(batch.subjects,
                                                 batch.relations,

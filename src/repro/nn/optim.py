@@ -93,17 +93,29 @@ class Adam(Optimizer):
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
 
-def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float,
+                   telemetry=None) -> float:
     """Scale gradients so their global L2 norm is at most ``max_norm``.
 
     Returns the pre-clip norm, matching the PyTorch utility's contract.
+    When a :class:`repro.obs.Telemetry` is given, the pre/post-clip norms
+    are observed as ``grad_norm_preclip`` / ``grad_norm_postclip`` and a
+    ``grad_clips`` counter tracks how often the threshold engaged — the
+    norm is already computed here, so the hook costs nothing extra.
     """
     params = [p for p in params if p.grad is not None]
     total = math.sqrt(sum(float((p.grad ** 2).sum()) for p in params))
-    if total > max_norm and total > 0:
+    clipped = total > max_norm and total > 0
+    if clipped:
         scale = max_norm / (total + 1e-12)
         for p in params:
             p.grad = p.grad * scale
+    if telemetry is not None:
+        telemetry.observe("grad_norm_preclip", total)
+        telemetry.observe("grad_norm_postclip",
+                          total * scale if clipped else total)
+        if clipped:
+            telemetry.incr("grad_clips")
     return total
 
 

@@ -1,0 +1,18 @@
+"""``repro.obs`` — process-wide telemetry: counters, spans, JSONL traces.
+
+The observability layer every subsystem reports through: the trainer
+(per-epoch loss/grad/eval spans), the evaluation protocol (context-build
+vs forward vs ranking), the online-learning pass and the serving engine
+(whose :class:`repro.serving.ServingStats` is a thin façade over
+:class:`Telemetry`).  See ``docs/observability.md``.
+"""
+
+from .hooks import ParamDrift, global_grad_norm, global_param_norm
+from .telemetry import (NULL_TELEMETRY, NullTelemetry, StageStats, Telemetry,
+                        get_telemetry, read_trace, registered_telemetry)
+
+__all__ = [
+    "Telemetry", "StageStats", "NullTelemetry", "NULL_TELEMETRY",
+    "get_telemetry", "registered_telemetry", "read_trace",
+    "ParamDrift", "global_grad_norm", "global_param_norm",
+]

@@ -1,0 +1,58 @@
+"""Gradient and parameter telemetry hooks for training loops.
+
+The trainer records three model-health series per run:
+
+* ``grad_norm_preclip`` / ``grad_norm_postclip`` — the global gradient
+  L2 norm before and after clip-by-global-norm, observed by
+  :func:`repro.nn.optim.clip_grad_norm` when handed a telemetry
+  instance;
+* ``param_norm`` / ``param_norm_drift`` — the global parameter L2 norm
+  and its per-epoch absolute change, tracked by :class:`ParamDrift`.
+
+A collapsing ``param_norm_drift`` flags a stalled optimizer; an
+exploding ``grad_norm_preclip`` with a flat postclip trace shows the
+clip threshold doing all the work.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from .telemetry import NULL_TELEMETRY, Telemetry
+
+
+def global_grad_norm(params: Iterable) -> float:
+    """Global L2 norm over every parameter gradient (None grads skipped)."""
+    return math.sqrt(sum(float((p.grad ** 2).sum())
+                         for p in params if p.grad is not None))
+
+
+def global_param_norm(params: Iterable) -> float:
+    """Global L2 norm over every parameter's data."""
+    return math.sqrt(sum(float((p.data ** 2).sum()) for p in params))
+
+
+class ParamDrift:
+    """Tracks the per-step drift of the global parameter norm.
+
+    Call :meth:`update` once per epoch (or any other cadence); each call
+    observes ``param_norm`` and, from the second call on, the absolute
+    change ``param_norm_drift`` on the given telemetry.
+    """
+
+    def __init__(self, telemetry: Telemetry = NULL_TELEMETRY,
+                 series: str = "param_norm"):
+        self.telemetry = telemetry
+        self.series = series
+        self.previous: Optional[float] = None
+
+    def update(self, params: Iterable) -> float:
+        """Observe the current norm (and drift); returns the norm."""
+        norm = global_param_norm(params)
+        self.telemetry.observe(self.series, norm)
+        if self.previous is not None:
+            self.telemetry.observe(f"{self.series}_drift",
+                                   abs(norm - self.previous))
+        self.previous = norm
+        return norm

@@ -17,6 +17,7 @@ from typing import Dict, List, Sequence
 from ..eval.protocol import evaluate
 from ..interface import ExtrapolationModel
 from ..tkg.dataset import TKGDataset
+from ..training.context import HistoryContext
 
 DEFAULT_SIGMAS = (0.0, 0.25, 0.5, 1.0, 2.0)
 
@@ -66,15 +67,20 @@ def noise_sweep(model: ExtrapolationModel, dataset: TKGDataset,
 
     The model's weights are untouched — only its input perturbation hook
     is set for the duration of each evaluation and restored afterwards.
+    One :class:`repro.training.context.HistoryContext` is built up front
+    and shared across the whole sweep (``evaluate`` rewinds it per pass),
+    so the snapshot/index construction is paid once, not once per sigma.
     """
     if sigmas[0] != 0.0:
         raise ValueError("first sigma must be 0.0 (the clean reference)")
     previous = model.input_noise_std
+    context = HistoryContext(dataset, window=window)
     points: List[NoisePoint] = []
     try:
         for sigma in sigmas:
             model.input_noise_std = float(sigma)
-            metrics = evaluate(model, dataset, split, window=window)
+            metrics = evaluate(model, dataset, split, context=context,
+                               window=window)
             points.append(NoisePoint(sigma=float(sigma), mrr=metrics["mrr"],
                                      hits1=metrics["hits@1"],
                                      hits3=metrics["hits@3"],

@@ -1,92 +1,40 @@
-"""Serving observability: per-stage latency, throughput, cache counters.
+"""Serving observability — a thin façade over :mod:`repro.obs`.
 
 The engine wraps each pipeline stage (``ingest``, ``local_state``,
-``subgraph``, ``forward``) in :meth:`ServingStats.time`, and bumps named
-counters for cache hits/misses.  Everything is exposed as a plain dict
-(:meth:`ServingStats.as_dict`) so the CLI's ``stats`` op and the latency
-bench can emit it as JSON without further massaging.
+``subgraph``, ``forward``, ``rank``) in :meth:`ServingStats.time`, and
+bumps named counters for cache hits/misses.  All accumulation lives in
+the shared :class:`repro.obs.Telemetry` layer, so the serving engine,
+the CLI ``stats`` op, the trainer traces and the benchmarks read one
+schema; this module only adds the serving-specific derived metrics
+(uptime throughput, cache hit rates) on top.
+
+``StageStats`` is re-exported here for backwards compatibility — it now
+lives in :mod:`repro.obs.telemetry`.
 """
 
 from __future__ import annotations
 
-import math
-import time
-from collections import defaultdict, deque
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterator, List
+from typing import ContextManager, Dict, List
 
-# How many recent samples each stage keeps for percentile estimates.
-_RESERVOIR = 2048
+from ..obs import StageStats, Telemetry
+
+__all__ = ["ServingStats", "StageStats"]
 
 
-@dataclass
-class StageStats:
-    """Latency accumulator for one pipeline stage."""
-
-    count: int = 0
-    total_s: float = 0.0
-    min_s: float = float("inf")
-    max_s: float = 0.0
-    recent: Deque[float] = field(default_factory=lambda: deque(maxlen=_RESERVOIR))
-
-    def add(self, seconds: float) -> None:
-        self.count += 1
-        self.total_s += seconds
-        self.min_s = min(self.min_s, seconds)
-        self.max_s = max(self.max_s, seconds)
-        self.recent.append(seconds)
-
-    def percentile(self, q: float) -> float:
-        """Empirical q-quantile (0..1), nearest-rank, over retained samples.
-
-        Nearest-rank is ``ceil(q*n)`` 1-based: the smallest sample with at
-        least a ``q`` fraction of the data at or below it (so p50 of an
-        even-sized sample is the *lower* middle value, not the upper).
-        """
-        if not self.recent:
-            return 0.0
-        ordered = sorted(self.recent)
-        rank = min(len(ordered) - 1,
-                   max(0, math.ceil(q * len(ordered)) - 1))
-        return ordered[rank]
-
-    def as_dict(self) -> Dict[str, float]:
-        mean = self.total_s / self.count if self.count else 0.0
-        return {
-            "count": self.count,
-            "total_ms": round(self.total_s * 1e3, 3),
-            "mean_ms": round(mean * 1e3, 3),
-            "min_ms": round((self.min_s if self.count else 0.0) * 1e3, 3),
-            "max_ms": round(self.max_s * 1e3, 3),
-            "p50_ms": round(self.percentile(0.50) * 1e3, 3),
-            "p95_ms": round(self.percentile(0.95) * 1e3, 3),
-        }
-
-
-class ServingStats:
+class ServingStats(Telemetry):
     """Aggregated serving metrics for one engine instance."""
 
     def __init__(self) -> None:
-        self.stages: Dict[str, StageStats] = defaultdict(StageStats)
-        self.counters: Dict[str, int] = defaultdict(int)
-        self._started = time.perf_counter()
+        super().__init__(name="serving")
 
-    @contextmanager
-    def time(self, stage: str) -> Iterator[None]:
-        """Context manager timing one occurrence of ``stage``."""
-        begin = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.stages[stage].add(time.perf_counter() - begin)
+    def time(self, stage: str) -> ContextManager[None]:
+        """Context manager timing one occurrence of ``stage``.
 
-    def incr(self, counter: str, amount: int = 1) -> None:
-        self.counters[counter] += amount
-
-    @property
-    def uptime_s(self) -> float:
-        return time.perf_counter() - self._started
+        Serving stages are flat (the engine's pipeline has no nesting),
+        so this records under the bare stage name even when called inside
+        an outer telemetry span.
+        """
+        return self.span(stage, nested=False)
 
     def throughput(self, counter: str = "queries_served") -> float:
         """Cumulative rate of ``counter`` per second of engine uptime."""
@@ -101,18 +49,15 @@ class ServingStats:
         return hits / total if total else 0.0
 
     def as_dict(self) -> Dict[str, object]:
-        return {
-            "uptime_s": round(self.uptime_s, 3),
-            "throughput_qps": round(self.throughput(), 3),
-            "stages": {name: stage.as_dict()
-                       for name, stage in sorted(self.stages.items())},
-            "counters": dict(sorted(self.counters.items())),
-            "cache_hit_rates": {
-                cache: round(self.hit_rate(cache), 4)
-                for cache in ("context_cache", "subgraph_cache", "score_cache")
-                if (f"{cache}_hits" in self.counters
-                    or f"{cache}_misses" in self.counters)},
-        }
+        """The shared telemetry schema plus serving-derived metrics."""
+        payload = super().as_dict()
+        payload["throughput_qps"] = round(self.throughput(), 3)
+        payload["cache_hit_rates"] = {
+            cache: round(self.hit_rate(cache), 4)
+            for cache in ("context_cache", "subgraph_cache", "score_cache")
+            if (f"{cache}_hits" in self.counters
+                or f"{cache}_misses" in self.counters)}
+        return payload
 
     def summary_lines(self) -> List[str]:
         """Human-readable rendering for CLI / bench output."""

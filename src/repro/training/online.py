@@ -6,6 +6,11 @@ like the offline protocol), and only *then* fine-tunes on the revealed
 facts of ``t`` before moving to ``t+1``.  Historical facts in the test
 period thereby update the model, which is why online results dominate
 offline ones for every model in Fig. 10.
+
+Ranking goes through the same batched kernel as the offline protocol
+(:func:`repro.eval.ranking.batch_ranks_vectorized`); the legacy
+per-query path is kept behind ``batched=False`` and the parity tests
+assert both produce bitwise-identical metric rows.
 """
 
 from __future__ import annotations
@@ -13,11 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence
 
-import numpy as np
-
-from ..eval.metrics import RankingAccumulator, rank_of_target
+from ..eval.metrics import RankingAccumulator
+from ..eval.ranking import batch_ranks_per_query, batch_ranks_vectorized
 from ..interface import ExtrapolationModel
 from ..nn import Adam, clip_grad_norm
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..tkg.dataset import TKGDataset
 from ..tkg.filtering import TimeAwareFilter
 from .context import PHASES, HistoryContext, iter_timestep_batches
@@ -35,19 +40,30 @@ class OnlineConfig:
 
 
 def evaluate_online(model: ExtrapolationModel, dataset: TKGDataset,
-                    config: OnlineConfig = OnlineConfig()) -> Dict[str, float]:
+                    config: OnlineConfig = OnlineConfig(),
+                    batched: bool = True,
+                    telemetry: Telemetry = NULL_TELEMETRY
+                    ) -> Dict[str, float]:
     """Walk the test split online: predict at t, then adapt on t's facts.
 
     Returns the same metric row as :func:`repro.eval.evaluate`, so online
-    and offline numbers are directly comparable (Fig. 10).
+    and offline numbers are directly comparable (Fig. 10).  The caller's
+    train/eval mode is restored on return.  ``batched=False`` selects the
+    legacy per-query ranking path (bitwise-identical to the default
+    batched kernel; kept for the parity tests).  A ``telemetry`` instance
+    records ``context_build`` / ``predict`` / ``adapt`` spans plus
+    ``queries_evaluated`` and ``adapt_steps`` counters.
     """
-    context = HistoryContext(dataset, window=config.window)
-    context.reset()
+    with telemetry.span("context_build"):
+        context = HistoryContext(dataset, window=config.window)
+        context.reset()
+        augmented = [quads.with_inverses(dataset.num_relations)
+                     for quads in dataset.splits().values()]
+        time_filter = TimeAwareFilter(augmented)
     optimizer = Adam(model.parameters(), lr=config.lr)
-    augmented = [quads.with_inverses(dataset.num_relations)
-                 for quads in dataset.splits().values()]
-    time_filter = TimeAwareFilter(augmented)
     accumulator = RankingAccumulator()
+    rank_batch = batch_ranks_vectorized if batched else batch_ranks_per_query
+    was_training = bool(getattr(model, "training", False))
 
     # Group the per-phase batches by timestamp so we score *both* phases
     # before any adaptation step sees the timestamp's facts.
@@ -61,22 +77,26 @@ def evaluate_online(model: ExtrapolationModel, dataset: TKGDataset,
         group = by_time[t]
         # 1. predict (eval mode, filtered ranking)
         model.eval()
-        for batch in group:
-            scores = model.predict_on(batch)
-            for row, (s, r, o) in enumerate(zip(batch.subjects,
-                                                batch.relations,
-                                                batch.objects)):
-                filtered = time_filter.filter_scores(
-                    scores[row], int(s), int(r), batch.time, int(o))
-                accumulator.add(rank_of_target(filtered, int(o)))
+        with telemetry.span("predict"):
+            for batch in group:
+                scores = model.predict_on(batch)
+                accumulator.add_ranks(
+                    rank_batch(scores, batch, time_filter))
+                telemetry.incr("queries_evaluated", len(batch))
         # 2. adapt on the now-revealed facts of t
         model.train()
-        for _ in range(config.steps_per_timestamp):
-            for batch in group:
-                optimizer.zero_grad()
-                loss = model.loss_on(batch)
-                loss.backward()
-                clip_grad_norm(model.parameters(), config.grad_clip)
-                optimizer.step()
-    model.eval()
+        with telemetry.span("adapt"):
+            for _ in range(config.steps_per_timestamp):
+                for batch in group:
+                    optimizer.zero_grad()
+                    loss = model.loss_on(batch)
+                    loss.backward()
+                    clip_grad_norm(model.parameters(), config.grad_clip,
+                                   telemetry=telemetry)
+                    optimizer.step()
+                    telemetry.incr("adapt_steps")
+    if was_training:
+        model.train()
+    else:
+        model.eval()
     return accumulator.summary()

@@ -17,6 +17,7 @@ import numpy as np
 from ..eval.protocol import evaluate
 from ..interface import ExtrapolationModel
 from ..nn import Adam, clip_grad_norm
+from ..obs import NULL_TELEMETRY, ParamDrift, Telemetry
 from ..tkg.dataset import TKGDataset
 from .context import PHASES, HistoryContext, iter_timestep_batches
 
@@ -59,64 +60,91 @@ class Trainer:
         self.config = config
 
     def fit(self, model: ExtrapolationModel, dataset: TKGDataset,
-            context: Optional[HistoryContext] = None) -> TrainResult:
+            context: Optional[HistoryContext] = None,
+            telemetry: Telemetry = NULL_TELEMETRY) -> TrainResult:
+        """Train ``model``; optionally record telemetry.
+
+        When a :class:`repro.obs.Telemetry` is given, each epoch is
+        wrapped in an ``epoch`` span with nested ``epoch/train`` (and
+        per-step ``epoch/train/step``) and ``epoch/eval`` spans, gradient
+        norms are observed pre/post clip, and the global parameter norm
+        plus its per-epoch drift land in the ``param_norm`` /
+        ``param_norm_drift`` series.  Attach a JSONL sink beforehand
+        (:meth:`repro.obs.Telemetry.attach_trace`) to stream every span
+        as a trace event (``repro.cli train --trace``).
+        """
         cfg = self.config
         if context is None:
             context = HistoryContext(dataset, window=cfg.window)
         optimizer = Adam(model.parameters(), lr=cfg.lr)
         result = TrainResult()
-        started = time.time()
+        started = time.perf_counter()
         stale_evals = 0
+        drift = ParamDrift(telemetry)
 
         for epoch in range(cfg.epochs):
-            model.train()
-            context.reset()
-            epoch_losses: List[float] = []
-            for batch in iter_timestep_batches(
-                    dataset, "train", context, phases=cfg.phases,
-                    min_history=cfg.min_history):
-                optimizer.zero_grad()
-                loss = model.loss_on(batch)
-                loss.backward()
-                clip_grad_norm(model.parameters(), cfg.grad_clip)
-                optimizer.step()
-                epoch_losses.append(float(loss.data))
-            mean_loss = float(np.mean(epoch_losses)) if epoch_losses else 0.0
-            result.train_losses.append(mean_loss)
-            result.epochs_run = epoch + 1
+            with telemetry.span("epoch"):
+                model.train()
+                context.reset()
+                epoch_losses: List[float] = []
+                with telemetry.span("train"):
+                    for batch in iter_timestep_batches(
+                            dataset, "train", context, phases=cfg.phases,
+                            min_history=cfg.min_history):
+                        with telemetry.span("step"):
+                            optimizer.zero_grad()
+                            loss = model.loss_on(batch)
+                            loss.backward()
+                            clip_grad_norm(model.parameters(), cfg.grad_clip,
+                                           telemetry=telemetry)
+                            optimizer.step()
+                        epoch_losses.append(float(loss.data))
+                        telemetry.incr("train_steps")
+                mean_loss = (float(np.mean(epoch_losses))
+                             if epoch_losses else 0.0)
+                result.train_losses.append(mean_loss)
+                result.epochs_run = epoch + 1
+                telemetry.incr("epochs")
+                telemetry.observe("epoch_loss", mean_loss)
+                drift.update(model.parameters())
 
-            run_eval = ((epoch + 1) % cfg.eval_every == 0
-                        or epoch == cfg.epochs - 1)
-            if run_eval:
-                metrics = evaluate(model, dataset, "valid", context=context,
-                                   phases=cfg.phases)
-                result.valid_mrrs.append(metrics["mrr"])
-                improved = metrics["mrr"] > result.best_valid_mrr
-                if improved:
-                    result.best_valid_mrr = metrics["mrr"]
-                    result.best_state = model.state_dict()
-                    stale_evals = 0
-                else:
-                    stale_evals += 1
-                if cfg.verbose:
-                    print(f"epoch {epoch + 1:3d}  loss {mean_loss:8.4f}  "
-                          f"valid MRR {metrics['mrr']:6.2f}"
-                          f"{'  *' if improved else ''}")
-                if stale_evals >= cfg.patience:
-                    break
-            elif cfg.verbose:
-                print(f"epoch {epoch + 1:3d}  loss {mean_loss:8.4f}")
+                run_eval = ((epoch + 1) % cfg.eval_every == 0
+                            or epoch == cfg.epochs - 1)
+                if run_eval:
+                    with telemetry.span("eval"):
+                        metrics = evaluate(model, dataset, "valid",
+                                           context=context, phases=cfg.phases,
+                                           telemetry=telemetry)
+                    result.valid_mrrs.append(metrics["mrr"])
+                    improved = metrics["mrr"] > result.best_valid_mrr
+                    if improved:
+                        result.best_valid_mrr = metrics["mrr"]
+                        result.best_state = model.state_dict()
+                        stale_evals = 0
+                    else:
+                        stale_evals += 1
+                    if cfg.verbose:
+                        print(f"epoch {epoch + 1:3d}  loss {mean_loss:8.4f}  "
+                              f"valid MRR {metrics['mrr']:6.2f}"
+                              f"{'  *' if improved else ''}")
+                    if stale_evals >= cfg.patience:
+                        break
+                elif cfg.verbose:
+                    print(f"epoch {epoch + 1:3d}  loss {mean_loss:8.4f}")
 
         if result.best_state is not None:
             model.load_state_dict(result.best_state)
-        result.seconds = time.time() - started
+        result.seconds = time.perf_counter() - started
         return result
 
     def test(self, model: ExtrapolationModel, dataset: TKGDataset,
-             context: Optional[HistoryContext] = None) -> Dict[str, float]:
+             context: Optional[HistoryContext] = None,
+             telemetry: Telemetry = NULL_TELEMETRY) -> Dict[str, float]:
         """Evaluate on the test split with the paper's protocol."""
-        return evaluate(model, dataset, "test", context=context,
-                        window=self.config.window, phases=self.config.phases)
+        with telemetry.span("test"):
+            return evaluate(model, dataset, "test", context=context,
+                            window=self.config.window, phases=self.config.phases,
+                            telemetry=telemetry)
 
 
 def export_history(result: TrainResult, path: str) -> None:

@@ -1,0 +1,247 @@
+"""Unit tests for the repro.obs telemetry layer."""
+
+import json
+
+import pytest
+
+from repro.obs import (NULL_TELEMETRY, NullTelemetry, StageStats, Telemetry,
+                       get_telemetry, global_grad_norm, global_param_norm,
+                       ParamDrift, read_trace, registered_telemetry)
+
+
+class TestSpans:
+    def test_span_records_stage(self):
+        tel = Telemetry("t")
+        with tel.span("forward"):
+            pass
+        assert tel.stages["forward"].count == 1
+        assert tel.stages["forward"].total_s >= 0.0
+
+    def test_nested_spans_record_joined_paths(self):
+        tel = Telemetry("t")
+        with tel.span("epoch"):
+            with tel.span("train"):
+                with tel.span("step"):
+                    pass
+            with tel.span("eval"):
+                pass
+        assert set(tel.stages) == {"epoch", "epoch/train",
+                                   "epoch/train/step", "epoch/eval"}
+
+    def test_nested_false_records_bare_name(self):
+        tel = Telemetry("t")
+        with tel.span("outer"):
+            with tel.span("ingest", nested=False):
+                pass
+        assert "ingest" in tel.stages
+        assert "outer/ingest" not in tel.stages
+
+    def test_outer_span_covers_inner(self):
+        tel = Telemetry("t")
+        with tel.span("outer"):
+            for _ in range(5):
+                with tel.span("inner"):
+                    pass
+        assert (tel.stages["outer"].total_s
+                >= tel.stages["outer/inner"].total_s)
+
+    def test_exception_still_records_span(self):
+        tel = Telemetry("t")
+        with pytest.raises(RuntimeError):
+            with tel.span("boom"):
+                raise RuntimeError("x")
+        assert tel.stages["boom"].count == 1
+        # the stack unwound: a later span is top-level again
+        with tel.span("after"):
+            pass
+        assert "after" in tel.stages
+
+
+class TestCountersAndScalars:
+    def test_incr(self):
+        tel = Telemetry("t")
+        tel.incr("queries")
+        tel.incr("queries", 4)
+        assert tel.counters["queries"] == 5
+
+    def test_observe_feeds_scalar_series(self):
+        tel = Telemetry("t")
+        for v in (1.0, 3.0, 2.0):
+            tel.observe("grad_norm", v)
+        d = tel.scalars["grad_norm"].as_scalar_dict()
+        assert d["count"] == 3
+        assert d["min"] == 1.0
+        assert d["max"] == 3.0
+        assert d["last"] == 2.0
+        assert d["mean"] == pytest.approx(2.0)
+
+    def test_as_dict_schema(self):
+        tel = Telemetry("t")
+        with tel.span("s"):
+            pass
+        tel.incr("c")
+        tel.observe("g", 1.5)
+        payload = tel.as_dict()
+        assert payload["name"] == "t"
+        assert set(payload) >= {"name", "uptime_s", "stages", "counters",
+                                "scalars"}
+        assert payload["counters"] == {"c": 1}
+        assert "s" in payload["stages"]
+        assert "g" in payload["scalars"]
+        # everything must be JSON-serializable (the bench ingests this)
+        json.dumps(payload)
+
+    def test_reset_clears_everything(self):
+        tel = Telemetry("t")
+        with tel.span("s"):
+            pass
+        tel.incr("c")
+        tel.observe("g", 1.0)
+        tel.reset()
+        assert not tel.stages and not tel.counters and not tel.scalars
+
+
+class TestTrace:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tel = Telemetry("traced")
+        with tel.tracing(path):
+            with tel.span("epoch"):
+                with tel.span("step"):
+                    pass
+            tel.observe("grad_norm", 2.5)
+        events = read_trace(path)
+        types = [e["type"] for e in events]
+        assert types[0] == "meta"
+        assert types[-1] == "summary"
+        spans = [e for e in events if e["type"] == "span"]
+        # inner span completes (and is emitted) before the outer one
+        assert [s["name"] for s in spans] == ["epoch/step", "epoch"]
+        assert spans[0]["depth"] == 1 and spans[1]["depth"] == 0
+        scalar = next(e for e in events if e["type"] == "scalar")
+        assert scalar["name"] == "grad_norm"
+        assert scalar["value"] == 2.5
+        # the summary event round-trips as_dict's schema
+        summary = events[-1]
+        assert "epoch" in summary["stages"]
+        assert summary["scalars"]["grad_norm"]["count"] == 1
+
+    def test_span_events_carry_monotonic_offsets(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tel = Telemetry("t")
+        with tel.tracing(path):
+            with tel.span("a"):
+                pass
+            with tel.span("b"):
+                pass
+        spans = [e for e in read_trace(path) if e["type"] == "span"]
+        assert spans[0]["t_start_s"] <= spans[1]["t_start_s"]
+        assert all(s["dur_s"] >= 0 for s in spans)
+
+    def test_double_attach_rejected(self, tmp_path):
+        tel = Telemetry("t")
+        tel.attach_trace(str(tmp_path / "a.jsonl"))
+        with pytest.raises(RuntimeError):
+            tel.attach_trace(str(tmp_path / "b.jsonl"))
+        tel.detach_trace()
+
+    def test_detach_without_trace_is_noop(self):
+        assert Telemetry("t").detach_trace() is None
+
+
+class TestNullTelemetry:
+    def test_records_nothing(self):
+        with NULL_TELEMETRY.span("s"):
+            NULL_TELEMETRY.incr("c")
+            NULL_TELEMETRY.observe("g", 1.0)
+        assert not NULL_TELEMETRY.stages
+        assert not NULL_TELEMETRY.counters
+        assert not NULL_TELEMETRY.scalars
+
+    def test_rejects_trace_attachment(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            NullTelemetry("n").attach_trace(str(tmp_path / "x.jsonl"))
+
+
+class TestRegistry:
+    def test_same_name_same_instance(self):
+        a = get_telemetry("test-registry")
+        b = get_telemetry("test-registry")
+        assert a is b
+        assert "test-registry" in registered_telemetry()
+
+    def test_distinct_names_distinct_instances(self):
+        assert get_telemetry("reg-a") is not get_telemetry("reg-b")
+
+
+class TestHooks:
+    def test_param_and_grad_norms(self):
+        import numpy as np
+        from repro.nn.modules import Parameter
+        p = Parameter(np.array([3.0, 4.0]))
+        assert global_param_norm([p]) == pytest.approx(5.0)
+        assert global_grad_norm([p]) == 0.0          # no grad yet
+        p.grad = np.array([0.0, 2.0])
+        assert global_grad_norm([p]) == pytest.approx(2.0)
+
+    def test_param_drift_observes_norm_and_delta(self):
+        import numpy as np
+        from repro.nn.modules import Parameter
+        tel = Telemetry("drift")
+        p = Parameter(np.array([3.0, 4.0]))
+        tracker = ParamDrift(tel)
+        tracker.update([p])                           # first call: no drift yet
+        assert tel.scalars["param_norm"].count == 1
+        assert "param_norm_drift" not in tel.scalars
+        p.data = np.array([0.0, 6.0])
+        tracker.update([p])
+        assert tel.scalars["param_norm_drift"].count == 1
+        assert (tel.scalars["param_norm_drift"].as_scalar_dict()["last"]
+                == pytest.approx(1.0))
+
+    def test_clip_grad_norm_telemetry(self):
+        import numpy as np
+        from repro.nn.modules import Parameter
+        from repro.nn.optim import clip_grad_norm
+        tel = Telemetry("clip")
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])
+        pre = clip_grad_norm([p], 1.0, telemetry=tel)
+        assert pre == pytest.approx(5.0)
+        assert tel.counters["grad_clips"] == 1
+        d = tel.scalars["grad_norm_postclip"].as_scalar_dict()
+        assert d["last"] == pytest.approx(1.0, rel=1e-6)
+        # unclipped step: post equals pre, counter untouched
+        p.grad = np.array([0.1, 0.0])
+        clip_grad_norm([p], 1.0, telemetry=tel)
+        assert tel.counters["grad_clips"] == 1
+        assert (tel.scalars["grad_norm_preclip"].as_scalar_dict()["last"]
+                == pytest.approx(0.1))
+
+
+class TestServingFacade:
+    def test_serving_stats_is_telemetry(self):
+        from repro.serving import ServingStats
+        stats = ServingStats()
+        assert isinstance(stats, Telemetry)
+        with stats.time("forward"):
+            stats.incr("queries_served", 2)
+        payload = stats.as_dict()
+        # shared schema plus the serving-specific extras
+        assert set(payload) >= {"name", "uptime_s", "stages", "counters",
+                                "scalars", "throughput_qps",
+                                "cache_hit_rates"}
+        assert payload["stages"]["forward"]["count"] == 1
+
+    def test_engine_stages_stay_flat_inside_spans(self):
+        from repro.serving import ServingStats
+        stats = ServingStats()
+        tel = Telemetry("outer")
+        with tel.span("serve"):
+            with stats.time("ingest"):
+                pass
+        assert "ingest" in stats.stages
+
+    def test_stagestats_importable_from_old_home(self):
+        from repro.serving.stats import StageStats as OldStageStats
+        assert OldStageStats is StageStats

@@ -34,6 +34,36 @@ class TestNoiseSweep:
         result = noise_sweep(model, dataset, sigmas=(0.0, 5.0))
         assert result.points[1].mrr < result.points[0].mrr
 
+    def test_single_context_shared_across_sweep(self, dataset, monkeypatch):
+        """One HistoryContext serves every sigma (regression: one per sigma).
+
+        The sweep used to let ``evaluate`` rebuild the snapshot/index
+        structures from scratch for each noise point — pure redundant
+        work, since the history never changes within a sweep.
+        """
+        from repro.training import context as context_module
+        built = []
+        original = context_module.HistoryContext.__init__
+
+        def counting_init(self, *args, **kwargs):
+            built.append(self)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(context_module.HistoryContext, "__init__",
+                            counting_init)
+        model = build_model("distmult", dataset, dim=16)
+        result = noise_sweep(model, dataset, sigmas=(0.0, 0.5, 1.0))
+        assert len(result.points) == 3
+        assert len(built) == 1
+
+    def test_shared_context_metrics_unchanged(self, dataset):
+        """Sharing the context must not change the sweep's clean point."""
+        from repro.eval import evaluate
+        model = build_model("distmult", dataset, dim=16)
+        result = noise_sweep(model, dataset, sigmas=(0.0, 1.0))
+        standalone = evaluate(model, dataset, "test", window=3)
+        assert result.points[0].mrr == standalone["mrr"]
+
     def test_degradation_percent(self):
         from repro.robustness.noise import NoisePoint
         result = NoiseSweepResult("m", [
