@@ -1,8 +1,8 @@
 # Convenience targets for the LogCL reproduction.
 
 .PHONY: install test test-fast bench bench-table3 serve-bench eval-bench \
-	train-telemetry-bench trace-demo experiments clean-cache lint \
-	lint-private
+	history-bench train-telemetry-bench trace-demo experiments \
+	clean-cache lint lint-private
 
 install:
 	pip install -e .
@@ -24,6 +24,9 @@ serve-bench:  ## serving latency: cached incremental inference vs cold recompute
 
 eval-bench:  ## filtered-ranking throughput: batched kernel vs per-query path
 	pytest benchmarks/test_eval_throughput.py --benchmark-only -s
+
+history-bench:  ## history layer: subgraph-cache hit rate + epoch-rewind speedup
+	pytest benchmarks/test_history_cache.py --benchmark-only -s
 
 train-telemetry-bench:  ## telemetry overhead (<5%) and span coverage (>=95%)
 	pytest benchmarks/test_train_telemetry.py --benchmark-only -s
@@ -53,4 +56,11 @@ lint-private:  ## no reaching into GlobalHistoryIndex internals from outside
 		| grep -v 'self\._' \
 		|| { echo 'private GlobalHistoryIndex attribute accessed outside'\
 		' repro/core/subgraph.py (use facts_since / the public API)'; \
+		exit 1; }
+	@! grep -rnE 'self\._(subgraph_cache|context_cache|snap_by_time|snap_times|snapshots)\s*[:=][^=]' \
+		src tests benchmarks examples \
+		--include='*.py' \
+		| grep -v 'src/repro/history/' \
+		|| { echo 'private snapshot/subgraph cache declared outside'\
+		' repro/history (use HistoryStore / ContextCache)'; \
 		exit 1; }

@@ -85,9 +85,20 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     model = build_model(args.model, dataset, dim=args.dim, seed=args.seed)
     load_checkpoint(model, args.checkpoint)
     records: Optional[list] = [] if args.per_pattern else None
+    telemetry = NULL_TELEMETRY
+    if args.trace:
+        telemetry = get_telemetry("evaluate")
+        telemetry.reset()
+        telemetry.attach_trace(args.trace)
     metrics = evaluate(model, dataset, args.split, window=args.window,
-                       filter_setting=args.filter, records=records)
+                       filter_setting=args.filter, records=records,
+                       telemetry=telemetry)
     print(format_metric_row(args.model, metrics))
+    if args.trace:
+        telemetry.detach_trace()
+        print(f"trace written to {args.trace}")
+        for line in telemetry.summary_lines():
+            print(line)
     if args.per_pattern:
         if dataset.provenance is None:
             print("(dataset has no provenance labels; skipping breakdown)")
@@ -273,6 +284,10 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("time-aware", "raw", "static"))
     p_eval.add_argument("--per-pattern", action="store_true",
                         help="break metrics down by generative pattern")
+    p_eval.add_argument("--trace",
+                        help="write a repro.obs JSONL trace of the pass "
+                             "(forward/rank spans, history-cache hit/miss "
+                             "counters)")
     p_eval.set_defaults(func=_cmd_evaluate)
 
     p_noise = sub.add_parser("noise", help="Gaussian-noise sweep")

@@ -83,14 +83,18 @@ def evaluate(model: ExtrapolationModel, dataset: TKGDataset, split: str,
         records ``context_build`` (history/filter construction),
         ``forward`` (model scoring, including lazy window/subgraph
         materialization) and ``rank`` (filtered ranking) spans plus a
-        ``queries_evaluated`` counter.  Defaults to the inert null
-        telemetry.
+        ``queries_evaluated`` counter, and is bound to the shared
+        history cache so its ``subgraph_cache_hits``/``_misses``
+        counters surface too.  Defaults to the inert null telemetry.
     """
     if filter_setting not in FILTER_SETTINGS:
         raise ValueError(f"filter_setting must be one of {FILTER_SETTINGS}")
     with telemetry.span("context_build"):
         if context is None:
-            context = HistoryContext(dataset, window=window)
+            context = HistoryContext(dataset, window=window,
+                                     telemetry=telemetry)
+        elif telemetry is not NULL_TELEMETRY:
+            context.bind_telemetry(telemetry)
         context.reset()
 
         # Filters must see the inverse-augmented facts of every split so

@@ -1,0 +1,22 @@
+"""``repro.history`` — the shared history runtime layer.
+
+One :class:`HistoryStore` (inverse-augmented snapshot sequence + the
+monotonic :class:`repro.core.subgraph.GlobalHistoryIndex`, dataset-backed
+or streaming) and one :class:`ContextCache` (bounded LRUs over
+precomputed encoder contexts and per-batch query subgraphs, instrumented
+through :mod:`repro.obs`) back every consumer of history in the repo:
+training (:class:`repro.training.context.HistoryContext` is a facade),
+evaluation, online learning, the robustness sweeps and the serving
+engine.  See ``docs/history.md`` for the store/cache/invalidation
+semantics.
+"""
+
+from .cache import (DEFAULT_CONTEXT_CAPACITY, DEFAULT_SUBGRAPH_CAPACITY,
+                    ContextCache, LRUCache, subgraph_key)
+from .store import HistoryStore
+
+__all__ = [
+    "HistoryStore",
+    "ContextCache", "LRUCache", "subgraph_key",
+    "DEFAULT_CONTEXT_CAPACITY", "DEFAULT_SUBGRAPH_CAPACITY",
+]

@@ -16,6 +16,7 @@ from typing import Dict, List, Sequence
 
 from ..eval.protocol import evaluate
 from ..interface import ExtrapolationModel
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..tkg.dataset import TKGDataset
 from ..training.context import HistoryContext
 
@@ -62,25 +63,29 @@ class NoiseSweepResult:
 def noise_sweep(model: ExtrapolationModel, dataset: TKGDataset,
                 sigmas: Sequence[float] = DEFAULT_SIGMAS,
                 split: str = "test", window: int = 3,
-                model_name: str = "model") -> NoiseSweepResult:
+                model_name: str = "model",
+                telemetry: Telemetry = NULL_TELEMETRY) -> NoiseSweepResult:
     """Evaluate ``model`` under each noise intensity (Fig. 5 protocol).
 
     The model's weights are untouched — only its input perturbation hook
     is set for the duration of each evaluation and restored afterwards.
-    One :class:`repro.training.context.HistoryContext` is built up front
-    and shared across the whole sweep (``evaluate`` rewinds it per pass),
-    so the snapshot/index construction is paid once, not once per sigma.
+    One :class:`repro.training.context.HistoryContext` — a facade over
+    the shared :mod:`repro.history` store — is built up front and shared
+    across the whole sweep (``evaluate`` rewinds it per pass), so the
+    snapshot/index construction is paid once, not once per sigma.  A
+    ``telemetry`` instance receives the per-pass evaluation spans plus
+    the shared history cache's hit/miss counters.
     """
     if sigmas[0] != 0.0:
         raise ValueError("first sigma must be 0.0 (the clean reference)")
     previous = model.input_noise_std
-    context = HistoryContext(dataset, window=window)
+    context = HistoryContext(dataset, window=window, telemetry=telemetry)
     points: List[NoisePoint] = []
     try:
         for sigma in sigmas:
             model.input_noise_std = float(sigma)
             metrics = evaluate(model, dataset, split, context=context,
-                               window=window)
+                               window=window, telemetry=telemetry)
             points.append(NoisePoint(sigma=float(sigma), mrr=metrics["mrr"],
                                      hits1=metrics["hits@1"],
                                      hits3=metrics["hits@3"],

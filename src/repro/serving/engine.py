@@ -6,86 +6,57 @@ evaluation pass.  :class:`InferenceEngine` turns the same trained model
 into an ingest-then-answer service:
 
 * :meth:`InferenceEngine.advance` ingests one snapshot of facts in
-  amortized O(new facts) — it appends to the growable
-  :class:`repro.core.subgraph.GlobalHistoryIndex`, the time-aware filter
-  and the snapshot window without touching older history;
+  amortized O(new facts) — it appends to a streaming
+  :class:`repro.history.HistoryStore` (which grows the
+  :class:`repro.core.subgraph.GlobalHistoryIndex` and the snapshot
+  window) and to the time-aware filter, without touching older history;
 * :meth:`InferenceEngine.predict` answers ``(s, r, t, ?)`` query batches
   against cached state: the query-independent local recurrent walk is
-  computed once per timestamp (``context_cache``), merged historical
-  subgraphs are memoized per query batch (``subgraph_cache``) and full
-  score matrices per repeated batch (``score_cache``).
+  computed once per timestamp and merged historical subgraphs are
+  memoized per query batch — both in the shared, bounded
+  :class:`repro.history.ContextCache` (the same cache class the training
+  :class:`repro.training.context.HistoryContext` uses) — and full score
+  matrices per repeated batch in a local LRU memo.
 
 Predictions are numerically identical to the cold batch path
 (``model.predict_on`` over a fresh :class:`HistoryContext`): the engine
 calls the very same encoder ops in the same order, it only reuses the
-query-independent prefix.
+query-independent prefix.  The engine and the training context are
+clients of one history layer, so their ``window_before`` /
+``global_edges`` views are asserted bitwise-identical on shared streams
+(``tests/integration/test_history_parity.py``).
 
 Models that expose the incremental-context protocol
 (``precompute_context`` / ``encode_queries`` / ``score_queries``, i.e.
 LogCL) get the cached fast path; every other
 :class:`repro.interface.ExtrapolationModel` is served through a
-duck-typed :class:`ServingBatch` fed to its ``predict_on`` — correct,
-incremental on the history side, just without local-state reuse.
+label-free :class:`repro.training.context.TimestepBatch` (phase
+``"serving"``) fed to its ``predict_on`` — correct, incremental on the
+history side, just without local-state reuse.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
-from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.subgraph import GlobalHistoryIndex
 from ..eval.metrics import ranks_of_targets, softmax_topk
+from ..history import HistoryStore, ContextCache, LRUCache
 from ..nn import no_grad
 from ..tkg.dataset import Snapshot, TKGDataset
 from ..tkg.filtering import TimeAwareFilter
 from ..tkg.quadruples import QuadrupleSet
+from ..training.context import TimestepBatch
 from .stats import ServingStats
 
 # Stage names used with ServingStats.time.
 STAGES = ("ingest", "local_state", "subgraph", "forward", "rank")
 
-
-class ServingBatch:
-    """Duck-typed stand-in for :class:`repro.training.context.TimestepBatch`.
-
-    Carries exactly the attributes model ``predict_on`` implementations
-    read, backed by the engine's incremental state instead of a training
-    :class:`HistoryContext`.
-    """
-
-    phase = "serving"
-    objects = None
-
-    def __init__(self, engine: "InferenceEngine", time: int,
-                 subjects: np.ndarray, relations: np.ndarray):
-        self._engine = engine
-        self.time = time
-        self.subjects = subjects
-        self.relations = relations
-
-    def __len__(self) -> int:
-        return len(self.subjects)
-
-    @property
-    def snapshots(self) -> List[Snapshot]:
-        return self._engine.window_before(self.time)
-
-    @property
-    def global_edges(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        return self._engine._global_edges(self.time, self.subjects,
-                                          self.relations)
-
-    @property
-    def history_index(self) -> GlobalHistoryIndex:
-        self._engine._index.advance_to(self.time)
-        return self._engine._index
-
-    @property
-    def num_entities(self) -> int:
-        return self._engine.num_entities
+# The serving batch type IS the training batch type: one history surface,
+# one batch carrier (kept under the old name for imports that predate the
+# repro.history unification).
+ServingBatch = TimestepBatch
 
 
 class InferenceEngine:
@@ -98,7 +69,7 @@ class InferenceEngine:
         eval mode on construction.
     num_entities, num_relations:
         Vocabulary sizes (``num_relations`` counts *original* relations;
-        the engine augments ingested facts with inverses itself).
+        the history store augments ingested facts with inverses itself).
     window:
         Local window length ``m`` — must match the value the model was
         trained/evaluated with for prediction parity.
@@ -127,19 +98,19 @@ class InferenceEngine:
         self.window = window
         self.stats = ServingStats()
         self.last_time: Optional[int] = None
-        self._snapshots: Dict[int, Snapshot] = {}     # inverse-augmented
-        self._snap_times: List[int] = []              # sorted ingest times
-        self._raw_facts: List[np.ndarray] = []        # original (k, 4) chunks
-        self._index = GlobalHistoryIndex.empty()
+        self.history = HistoryStore.streaming(num_relations)
         self.filter = TimeAwareFilter([])
         self._supports_context = all(
             hasattr(model, method) for method in
             ("precompute_context", "encode_queries", "score_queries"))
-        self._context_cache: "OrderedDict[int, Dict]" = OrderedDict()
-        self._context_cache_size = context_cache_size
-        self._subgraph_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
-        self._score_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
-        self._score_cache_size = score_cache_size
+        self.cache = ContextCache(telemetry=self.stats,
+                                  context_capacity=context_cache_size)
+        self._score_cache = LRUCache(score_cache_size)
+
+    @property
+    def _context_cache(self) -> LRUCache:
+        """The per-timestamp encoder-context LRU (read-only view)."""
+        return self.cache.contexts
 
     # -- construction helpers ------------------------------------------
     @classmethod
@@ -192,31 +163,16 @@ class InferenceEngine:
             if time is None:
                 time = 0 if self.last_time is None else self.last_time + 1
             time = int(time)
-            if self.last_time is not None and time <= self.last_time:
-                raise ValueError(f"snapshots must arrive in time order: "
-                                 f"got t={time} after t={self.last_time}")
-            quads = np.concatenate(
-                [arr, np.full((len(arr), 1), time, dtype=np.int64)], axis=1)
-            augmented = QuadrupleSet(quads).with_inverses(self.num_relations)
-            self._snapshots[time] = Snapshot.from_array(time, augmented.array)
-            self._snap_times.append(time)   # strictly increasing => sorted
-            self._raw_facts.append(quads)
-            self._index.extend(augmented.array)
+            augmented = self.history.extend(arr, time)
             self.filter.add_facts(augmented)
             # Anything cached for a query time beyond the new snapshot now
             # has a stale history; times at or before it are unaffected.
-            self._invalidate_after(time)
+            self.cache.invalidate_after(time)
+            self._score_cache.evict_if(lambda key: key[0] > time)
             self.last_time = time
             self.stats.incr("facts_ingested", len(arr))
             self.stats.incr("snapshots_ingested")
         return len(arr)
-
-    def _invalidate_after(self, time: int) -> None:
-        for key in [t for t in self._context_cache if t > time]:
-            del self._context_cache[key]
-        for cache in (self._subgraph_cache, self._score_cache):
-            for key in [k for k in cache if k[0] > time]:
-                del cache[key]
 
     # -- query-time state -----------------------------------------------
     @property
@@ -227,48 +183,37 @@ class InferenceEngine:
     def window_before(self, query_time: int) -> List[Snapshot]:
         """The last ``window`` ingested snapshots before ``query_time``.
 
-        Walks back over ingested snapshot times (matching
-        :meth:`repro.training.context.HistoryContext.window_before`), so
-        sparse streams with timestamp gaps keep a full local window.
+        Served straight from the shared history store, so sparse streams
+        with timestamp gaps keep a full local window — identical to
+        :meth:`repro.training.context.HistoryContext.window_before`.
         """
-        end = bisect_left(self._snap_times, query_time)
-        start = max(0, end - self.window)
-        return [self._snapshots[t] for t in self._snap_times[start:end]]
+        return self.history.window_before(query_time, self.window)
 
     def _context(self, query_time: int) -> Dict:
         """Cached query-independent encoder state for ``query_time``."""
-        if query_time in self._context_cache:
-            self.stats.incr("context_cache_hits")
-            self._context_cache.move_to_end(query_time)
-            return self._context_cache[query_time]
-        self.stats.incr("context_cache_misses")
-        with self.stats.time("local_state"):
+        def build() -> Dict:
             with no_grad():
-                context = self.model.precompute_context(
+                return self.model.precompute_context(
                     self.window_before(query_time), query_time)
-        self._context_cache[query_time] = context
-        if len(self._context_cache) > self._context_cache_size:
-            self._context_cache.popitem(last=False)
-        return context
+        return self.cache.context(query_time, build)
 
-    def _global_edges(self, query_time: int, subjects: np.ndarray,
-                      relations: np.ndarray
-                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Cached merged historical subgraph for one query batch."""
-        key = (query_time, subjects.tobytes(), relations.tobytes())
-        if key in self._subgraph_cache:
-            self.stats.incr("subgraph_cache_hits")
-            self._subgraph_cache.move_to_end(key)
-            return self._subgraph_cache[key]
-        self.stats.incr("subgraph_cache_misses")
-        with self.stats.time("subgraph"):
-            self._index.advance_to(query_time)
-            pairs = list(zip(subjects.tolist(), relations.tolist()))
-            edges = self._index.subgraph_for_queries(pairs, deduplicate=True)
-        self._subgraph_cache[key] = edges
-        if len(self._subgraph_cache) > self._score_cache_size:
-            self._subgraph_cache.popitem(last=False)
-        return edges
+    def global_edges(self, query_time: int, subjects: np.ndarray,
+                     relations: np.ndarray
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached merged historical subgraph for one query batch.
+
+        Public counterpart of
+        :meth:`repro.training.context.HistoryContext.global_edges`; the
+        two are asserted bitwise-identical on shared streams by
+        ``tests/integration/test_history_parity.py``.
+        """
+        return self.cache.subgraph(
+            query_time, subjects, relations,
+            lambda: self.history.subgraph(query_time, subjects, relations))
+
+    def history_index_at(self, query_time: int):
+        """The shared global index advanced to ``query_time``."""
+        return self.history.index_at(query_time)
 
     # -- prediction -----------------------------------------------------
     def predict(self, subjects: np.ndarray, relations: np.ndarray,
@@ -284,24 +229,26 @@ class InferenceEngine:
         if subjects.shape != relations.shape or subjects.ndim != 1:
             raise ValueError("subjects/relations must be aligned 1-D arrays")
         query_time = self.next_time if time is None else int(time)
-        if query_time < self._index.horizon:
+        if query_time < self.history.index.horizon:
             raise ValueError(
                 f"queries must advance monotonically in time: the index is "
-                f"already at t={self._index.horizon}, asked {query_time}")
+                f"already at t={self.history.index.horizon}, "
+                f"asked {query_time}")
 
-        memo_enabled = (self._score_cache_size > 0
+        memo_enabled = (self._score_cache.capacity > 0
                         and getattr(self.model, "input_noise_std", 0.0) <= 0.0)
         key = (query_time, subjects.tobytes(), relations.tobytes())
-        if memo_enabled and key in self._score_cache:
-            self.stats.incr("score_cache_hits")
-            self._score_cache.move_to_end(key)
-            self.stats.incr("queries_served", len(subjects))
-            return self._score_cache[key].copy()
+        if memo_enabled:
+            cached = self._score_cache.get(key)
+            if cached is not None:
+                self.stats.incr("score_cache_hits")
+                self.stats.incr("queries_served", len(subjects))
+                return cached.copy()
         self.stats.incr("score_cache_misses")
 
         if self._supports_context:
             context = self._context(query_time)
-            edges = self._global_edges(query_time, subjects, relations)
+            edges = self.global_edges(query_time, subjects, relations)
             with self.stats.time("forward"):
                 with no_grad():
                     encoded = self.model.encode_queries(context, subjects,
@@ -309,14 +256,14 @@ class InferenceEngine:
                     scores = self.model.score_queries(encoded, subjects,
                                                       relations).data
         else:
-            batch = ServingBatch(self, query_time, subjects, relations)
+            batch = TimestepBatch(time=query_time, subjects=subjects,
+                                  relations=relations, objects=None,
+                                  phase="serving", context=self)
             with self.stats.time("forward"):
                 scores = self.model.predict_on(batch)
 
         if memo_enabled:
-            self._score_cache[key] = scores
-            if len(self._score_cache) > self._score_cache_size:
-                self._score_cache.popitem(last=False)
+            self._score_cache.put(key, scores)
         self.stats.incr("queries_served", len(subjects))
         return scores.copy() if memo_enabled else scores
 
@@ -373,10 +320,8 @@ class InferenceEngine:
     # -- persistence ----------------------------------------------------
     def serving_state(self) -> Dict[str, np.ndarray]:
         """The engine's replayable history state as plain arrays."""
-        facts = (np.concatenate(self._raw_facts, axis=0)
-                 if self._raw_facts else np.empty((0, 4), dtype=np.int64))
         return {
-            "facts": facts,
+            "facts": self.history.raw_facts(),
             "meta": np.array([self.num_entities, self.num_relations,
                               self.window,
                               -1 if self.last_time is None else self.last_time],
@@ -393,13 +338,9 @@ class InferenceEngine:
                 f"{self.num_entities} / {self.num_relations}")
         self.window = int(meta[2])
         self.last_time = None
-        self._snapshots.clear()
-        self._snap_times = []
-        self._raw_facts = []
-        self._index = GlobalHistoryIndex.empty()
+        self.history = HistoryStore.streaming(self.num_relations)
         self.filter = TimeAwareFilter([])
-        self._context_cache.clear()
-        self._subgraph_cache.clear()
+        self.cache.clear()
         self._score_cache.clear()
         facts = np.asarray(state["facts"], dtype=np.int64)
         if len(facts):

@@ -8,20 +8,28 @@ then the inverse queries — so the entity-aware attention never perceives
 the answers of the phase it is scoring (the data-leakage guard the paper
 motivates).
 
-:class:`HistoryContext` owns the state both encoders read: the
-inverse-augmented snapshot sequence for the local window, and the
-incremental :class:`repro.core.subgraph.GlobalHistoryIndex` for the global
-query subgraphs.
+:class:`HistoryContext` is a thin facade over the shared
+:mod:`repro.history` runtime layer: a dataset-backed
+:class:`repro.history.HistoryStore` holds the state both encoders read
+(the inverse-augmented snapshot sequence for the local window, the
+incremental :class:`repro.core.subgraph.GlobalHistoryIndex` for the
+global query subgraphs), and a bounded
+:class:`repro.history.ContextCache` memoizes per-batch subgraphs.  The
+serving engine is a client of the same two classes, which is what keeps
+offline and online window/invalidation semantics identical
+(``tests/integration/test_history_parity.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.subgraph import GlobalHistoryIndex
+from ..history import DEFAULT_SUBGRAPH_CAPACITY, ContextCache, HistoryStore
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..tkg.dataset import Snapshot, TKGDataset
 from ..tkg.quadruples import QuadrupleSet
 
@@ -42,43 +50,61 @@ class HistoryContext:
     extra_facts:
         Optional additional facts (used by the online-learning protocol to
         make newly revealed test facts part of history).
+    telemetry:
+        Receives the shared cache's hit/miss counters and build spans
+        (``subgraph_cache_hits`` etc.); defaults to the inert null
+        telemetry.  Consumers that learn their telemetry late rebind it
+        through :meth:`bind_telemetry`.
+    subgraph_cache_size:
+        LRU bound of the per-batch subgraph cache — the same bound the
+        serving engine enforces (the cache was unbounded here once; long
+        multi-split evaluations grew memory without limit).
     """
 
     def __init__(self, dataset: TKGDataset, window: int,
-                 extra_facts: Optional[QuadrupleSet] = None):
+                 extra_facts: Optional[QuadrupleSet] = None,
+                 telemetry: Telemetry = NULL_TELEMETRY,
+                 subgraph_cache_size: int = DEFAULT_SUBGRAPH_CAPACITY):
         self.dataset = dataset
         self.window = window
-        facts = dataset.all_facts()
-        if extra_facts is not None and len(extra_facts):
-            facts = facts.concat(extra_facts).unique()
-        augmented = facts.with_inverses(dataset.num_relations)
-        self._snap_by_time: Dict[int, Snapshot] = {
-            t: Snapshot.from_array(t, arr)
-            for t, arr in augmented.group_by_time().items()}
-        self._snap_times = np.array(sorted(self._snap_by_time),
-                                    dtype=np.int64)
-        self._augmented = augmented
+        self.store = HistoryStore.from_dataset(dataset,
+                                               extra_facts=extra_facts)
+        self.cache = ContextCache(telemetry=telemetry,
+                                  subgraph_capacity=subgraph_cache_size)
         self.reset()
 
+    def bind_telemetry(self, telemetry: Telemetry) -> None:
+        """Point the cache's counters/spans at ``telemetry`` (idempotent)."""
+        self.cache.telemetry = telemetry
+
+    @property
+    def global_index(self) -> GlobalHistoryIndex:
+        """The store's monotonic global index (shared, never copied)."""
+        return self.store.index
+
+    @property
+    def num_entities(self) -> int:
+        return self.dataset.num_entities
+
     def reset(self) -> None:
-        """Rewind the monotonic global index (call at each epoch start)."""
-        self.global_index = GlobalHistoryIndex(self._augmented)
-        self._subgraph_cache: Dict[Tuple[int, bytes, bytes],
-                                   Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        """Rewind the monotonic global index (call at each epoch start).
+
+        Delegates to :meth:`repro.history.HistoryStore.rewind` — the
+        index keeps its fact buffer and only drops its advance state, so
+        an epoch start no longer pays a full index rebuild.  The subgraph
+        cache survives the reset: a dataset-backed store's fact buffer is
+        immutable, so a batch's merged subgraph is a pure function of its
+        ``(time, subjects, relations)`` key and repeated passes (epochs,
+        noise-sweep sigmas) hit instead of rebuilding.  Cached *encoder*
+        contexts depend on model weights and are dropped.
+        """
+        self.store.rewind()
+        self.cache.contexts.clear()
 
     # ------------------------------------------------------------------
     def window_before(self, query_time: int) -> List[Snapshot]:
-        """The last ``window`` non-empty snapshots before ``query_time``.
-
-        Walks back over *existing* snapshot times, so streams with
-        timestamp gaps (sparse long-gap tracks) still fill the full
-        window — the paper's "latest m snapshots" (§III-C), not the last
-        m raw timestamps.
-        """
-        end = int(np.searchsorted(self._snap_times, query_time, side="left"))
-        start = max(0, end - self.window)
-        return [self._snap_by_time[int(t)]
-                for t in self._snap_times[start:end]]
+        """The last ``window`` non-empty snapshots before ``query_time``."""
+        return self.store.window_before(query_time, self.window)
 
     def global_edges(self, query_time: int, subjects: np.ndarray,
                      relations: np.ndarray
@@ -91,17 +117,13 @@ class HistoryContext:
         timestamp seed *different* subgraphs and may not share one merged
         edge set.  Identical repeated batches still hit the cache.
         """
-        key = (query_time, subjects.tobytes(), relations.tobytes())
-        if key not in self._subgraph_cache:
-            self.global_index.advance_to(query_time)
-            pairs = list(zip(subjects.tolist(), relations.tolist()))
-            # Deduplicated edges measure better than multiplicity-weighted
-            # ones at bench scale (the repeated edges over-smooth the
-            # R-GCN aggregation); subgraph_for_queries exposes both.
-            self._subgraph_cache[key] = (
-                self.global_index.subgraph_for_queries(pairs,
-                                                       deduplicate=True))
-        return self._subgraph_cache[key]
+        return self.cache.subgraph(
+            query_time, subjects, relations,
+            lambda: self.store.subgraph(query_time, subjects, relations))
+
+    def history_index_at(self, query_time: int) -> GlobalHistoryIndex:
+        """The global index advanced to ``query_time``."""
+        return self.store.index_at(query_time)
 
 
 @dataclass
@@ -109,18 +131,22 @@ class TimestepBatch:
     """All queries of one timestamp in one propagation phase.
 
     ``subjects[i]``, ``relations[i]`` form query *i*; ``objects[i]`` is its
-    gold answer.  ``phase`` is ``"forward"`` for original facts and
-    ``"inverse"`` for the reversed ones (relation ids already offset).
-    Lazy accessors pull the local window and global subgraph from the
-    shared :class:`HistoryContext`.
+    gold answer (``None`` for label-free serving batches).  ``phase`` is
+    ``"forward"`` for original facts, ``"inverse"`` for the reversed ones
+    (relation ids already offset) and ``"serving"`` for engine-built
+    batches.  Lazy accessors pull the local window and global subgraph
+    from ``context`` — any provider of the shared history surface
+    (``window_before`` / ``global_edges`` / ``history_index_at`` /
+    ``num_entities``): a training :class:`HistoryContext` or a serving
+    :class:`repro.serving.InferenceEngine`.
     """
 
     time: int
     subjects: np.ndarray
     relations: np.ndarray
-    objects: np.ndarray
+    objects: Optional[np.ndarray]
     phase: str
-    context: HistoryContext
+    context: "HistoryContext"
 
     def __len__(self) -> int:
         return len(self.subjects)
@@ -135,18 +161,17 @@ class TimestepBatch:
                                          self.relations)
 
     @property
-    def history_index(self):
+    def history_index(self) -> GlobalHistoryIndex:
         """The shared global history index, advanced to this timestamp.
 
         Copy-mechanism baselines (CyGNet, TiRGN, CENET) read historical
         answer vocabularies from here without materializing a subgraph.
         """
-        self.context.global_index.advance_to(self.time)
-        return self.context.global_index
+        return self.context.history_index_at(self.time)
 
     @property
     def num_entities(self) -> int:
-        return self.context.dataset.num_entities
+        return self.context.num_entities
 
 
 def iter_timestep_batches(dataset: TKGDataset, split: str,

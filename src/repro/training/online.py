@@ -55,7 +55,8 @@ def evaluate_online(model: ExtrapolationModel, dataset: TKGDataset,
     ``queries_evaluated`` and ``adapt_steps`` counters.
     """
     with telemetry.span("context_build"):
-        context = HistoryContext(dataset, window=config.window)
+        context = HistoryContext(dataset, window=config.window,
+                                 telemetry=telemetry)
         context.reset()
         augmented = [quads.with_inverses(dataset.num_relations)
                      for quads in dataset.splits().values()]

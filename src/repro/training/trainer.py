@@ -75,7 +75,10 @@ class Trainer:
         """
         cfg = self.config
         if context is None:
-            context = HistoryContext(dataset, window=cfg.window)
+            context = HistoryContext(dataset, window=cfg.window,
+                                     telemetry=telemetry)
+        elif telemetry is not NULL_TELEMETRY:
+            context.bind_telemetry(telemetry)
         optimizer = Adam(model.parameters(), lr=cfg.lr)
         result = TrainResult()
         started = time.perf_counter()

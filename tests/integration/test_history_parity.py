@@ -1,0 +1,116 @@
+"""Cross-layer history parity: training context vs serving engine.
+
+Both consumers of history — the batch pipeline's
+:class:`repro.training.context.HistoryContext` and the serving
+:class:`repro.serving.InferenceEngine` — must expose *identical* views
+of the same fact stream: the same ``window_before`` snapshot lists and
+bitwise-identical merged ``global_edges`` for every query batch,
+including over sparse timestamp gaps and for the inverse propagation
+phase.  This is the contract that makes cold-vs-warm prediction parity
+possible at all; it is asserted here directly on the history layer so a
+divergence is caught before it shows up as a score mismatch.
+
+This test predates the ``repro.history`` unification and must keep
+passing unchanged across it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import tiny
+from repro.eval.heuristics import FrequencyHeuristic
+from repro.serving import InferenceEngine
+from repro.tkg import QuadrupleSet, TKGDataset
+from repro.training.context import HistoryContext, iter_timestep_batches
+
+WINDOW = 3
+
+
+def sparse_dataset() -> TKGDataset:
+    """A gapped stream: snapshots only at t = 0, 2, 9, 20, 21, 35, 50."""
+    train = QuadrupleSet.from_quads([
+        (0, 0, 1, 0), (1, 1, 2, 0),
+        (2, 0, 3, 2), (3, 1, 0, 2),
+        (0, 0, 2, 9), (4, 1, 1, 9),
+        (1, 0, 4, 20), (2, 1, 0, 20),
+    ])
+    valid = QuadrupleSet.from_quads([(0, 1, 3, 21), (3, 0, 2, 21)])
+    test = QuadrupleSet.from_quads([(4, 0, 0, 35), (2, 1, 4, 35),
+                                    (1, 1, 3, 50)])
+    return TKGDataset("sparse", train, valid, test,
+                      num_entities=5, num_relations=2)
+
+
+def _engine_over(dataset, window=WINDOW) -> InferenceEngine:
+    engine = InferenceEngine(FrequencyHeuristic(dataset.num_entities),
+                             dataset.num_entities, dataset.num_relations,
+                             window=window)
+    engine.preload(dataset, splits=("train", "valid", "test"))
+    return engine
+
+
+def _assert_same_snapshots(ctx_snaps, engine_snaps):
+    assert [s.time for s in ctx_snaps] == [s.time for s in engine_snaps]
+    for a, b in zip(ctx_snaps, engine_snaps):
+        np.testing.assert_array_equal(a.src, b.src)
+        np.testing.assert_array_equal(a.rel, b.rel)
+        np.testing.assert_array_equal(a.dst, b.dst)
+
+
+@pytest.mark.parametrize("dataset_fn", [sparse_dataset, tiny],
+                         ids=["sparse-gaps", "tiny-preset"])
+def test_context_and_engine_expose_identical_history(dataset_fn):
+    """One stream, two layers: windows and subgraphs must agree bitwise,
+    on every (timestamp, phase) batch — forward *and* inverse."""
+    dataset = dataset_fn()
+    context = HistoryContext(dataset, window=WINDOW)
+    context.reset()
+    engine = _engine_over(dataset)
+
+    phases_seen = set()
+    checked = 0
+    for split in ("valid", "test"):
+        for batch in iter_timestep_batches(dataset, split, context):
+            phases_seen.add(batch.phase)
+            _assert_same_snapshots(context.window_before(batch.time),
+                                   engine.window_before(batch.time))
+            ctx_edges = context.global_edges(batch.time, batch.subjects,
+                                             batch.relations)
+            eng_edges = engine.global_edges(batch.time, batch.subjects,
+                                            batch.relations)
+            for got, want in zip(eng_edges, ctx_edges):
+                np.testing.assert_array_equal(got, want)
+            checked += 1
+    assert phases_seen == {"forward", "inverse"}
+    assert checked >= 4
+
+
+def test_windows_agree_across_gaps_and_boundaries():
+    """Window parity at every probe time, including timestamps that fall
+    inside gaps and exactly on snapshot boundaries."""
+    dataset = sparse_dataset()
+    context = HistoryContext(dataset, window=2)
+    engine = _engine_over(dataset, window=2)
+    for probe in (0, 1, 2, 3, 9, 10, 20, 21, 22, 35, 36, 50, 51, 99):
+        _assert_same_snapshots(context.window_before(probe),
+                               engine.window_before(probe))
+
+
+def test_inverse_phase_subgraph_parity_is_nonvacuous():
+    """The forward and inverse phases of at least one timestamp must seed
+    *different* subgraphs — otherwise the phase-wise parity assertions
+    above could pass with a timestamp-keyed (phase-blind) cache."""
+    dataset = tiny()
+    context = HistoryContext(dataset, window=WINDOW)
+    context.reset()
+    distinct = False
+    batches = list(iter_timestep_batches(dataset, "test", context))
+    for fwd, inv in zip(batches[0::2], batches[1::2]):
+        fwd_edges = context.global_edges(fwd.time, fwd.subjects,
+                                         fwd.relations)
+        inv_edges = context.global_edges(inv.time, inv.subjects,
+                                         inv.relations)
+        if any(len(a) != len(b) or not np.array_equal(a, b)
+               for a, b in zip(fwd_edges, inv_edges)):
+            distinct = True
+    assert distinct
