@@ -1,13 +1,13 @@
 # Convenience targets for the LogCL reproduction.
 
 .PHONY: install test test-fast bench bench-table3 serve-bench eval-bench \
-	history-bench train-telemetry-bench trace-demo experiments \
-	clean-cache lint lint-private
+	history-bench train-telemetry-bench parallel-bench trace-demo \
+	experiments clean-cache docs-test lint lint-private lint-docstrings
 
 install:
 	pip install -e .
 
-test:
+test:  ## tier-1 suite (includes tests/docs — every doc snippet executes)
 	pytest tests/
 
 test-fast:  ## quick signal: nn + serving units and the examples smoke test
@@ -31,6 +31,19 @@ history-bench:  ## history layer: subgraph-cache hit rate + epoch-rewind speedup
 train-telemetry-bench:  ## telemetry overhead (<5%) and span coverage (>=95%)
 	pytest benchmarks/test_train_telemetry.py --benchmark-only -s
 
+parallel-bench:  ## sharded-evaluation parity (always) + speedup (>=4 cores)
+	pytest benchmarks/test_parallel_eval.py --benchmark-only -s
+
+docs-test:  ## executable docs: every fenced python block + every example script
+	PYTHONPATH=src python tools/run_doc_snippets.py
+	PYTHONPATH=src python examples/quickstart.py --epochs 1 --dim 16
+	PYTHONPATH=src python examples/dataset_analysis.py
+	PYTHONPATH=src python examples/custom_dataset.py --epochs 1
+	PYTHONPATH=src python examples/attention_inspection.py --epochs 1
+	PYTHONPATH=src python examples/event_forecasting.py --epochs 1 --num-queries 2
+	PYTHONPATH=src python examples/noise_robustness.py --epochs 1 --sigmas 0 0.5
+	PYTHONPATH=src python examples/online_learning.py --epochs 1 --models regcn logcl
+
 trace-demo:  ## train two quick epochs with --trace and show the JSONL events
 	PYTHONPATH=src python -m repro train --model logcl --dataset tiny \
 		--dim 16 --epochs 2 --eval-every 1 --quiet \
@@ -45,8 +58,11 @@ experiments:  ## rebuild EXPERIMENTS.md from benchmarks/results/
 clean-cache:  ## force full retraining of all benchmark models
 	rm -rf benchmarks/.cache benchmarks/results
 
-lint: lint-private
+lint: lint-private lint-docstrings
 	python -m pyflakes src/repro || true
+
+lint-docstrings:  ## every public def/class in history, parallel, serving documented
+	python tools/check_docstrings.py
 
 lint-private:  ## no reaching into GlobalHistoryIndex internals from outside
 	@! grep -rnE '\._(facts|buffer|cursor|answers|facts_of_entity)\b' \

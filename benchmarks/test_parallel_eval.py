@@ -1,0 +1,96 @@
+"""Sharded evaluation — parity and speedup of the process-pool runtime.
+
+``repro.parallel`` promises two things (docs/parallel.md): metric rows
+bitwise-identical to a serial pass for every worker count and filter
+setting, and wall-clock speedup on multi-core hosts.  This bench checks
+both on a trained LogCL checkpoint over ``icews14_like``.
+
+The parity assertions run everywhere.  The speedup assertion is gated
+on the host actually having cores to shard across: with
+``os.cpu_count() >= 4`` a 4-worker filtered evaluation must be at least
+2x faster than the serial pass; on smaller hosts the measurement is
+still recorded (JSON + table under ``benchmarks/results``, picked up
+by ``aggregate_results.py``) but not asserted.
+"""
+
+import json
+import os
+import time
+
+from _harness import (BENCH_WINDOW, RESULTS_DIR, emit, get_trained_model,
+                      logcl_overrides, write_result_table)
+from repro.eval.protocol import evaluate
+
+DATASET = "icews14_like"
+FILTER_SETTINGS = ("time-aware", "raw", "static")
+BENCH_WORKERS = 4
+TIMING_REPEATS = 3
+
+
+def _timed_eval(model, dataset, workers, repeats):
+    metrics = evaluate(model, dataset, "test", window=BENCH_WINDOW,
+                       workers=workers)           # warm-up + metric row
+    started = time.perf_counter()
+    for _ in range(repeats):
+        evaluate(model, dataset, "test", window=BENCH_WINDOW,
+                 workers=workers)
+    return (time.perf_counter() - started) / repeats, metrics
+
+
+def _run():
+    model, dataset, _ = get_trained_model(
+        "logcl", DATASET, model_overrides=logcl_overrides())
+
+    # Parity: every filter setting, serial vs sharded, bitwise.
+    for filter_setting in FILTER_SETTINGS:
+        serial = evaluate(model, dataset, "test", window=BENCH_WINDOW,
+                          filter_setting=filter_setting)
+        sharded = evaluate(model, dataset, "test", window=BENCH_WINDOW,
+                           filter_setting=filter_setting,
+                           workers=BENCH_WORKERS)
+        assert serial == sharded, (
+            f"sharded metric row diverged under {filter_setting!r} "
+            f"filtering: {serial} != {sharded}")
+
+    serial_s, metrics = _timed_eval(model, dataset, 1, TIMING_REPEATS)
+    sharded_s, _ = _timed_eval(model, dataset, BENCH_WORKERS,
+                               TIMING_REPEATS)
+    return {
+        "dataset": DATASET,
+        "cpu_count": os.cpu_count(),
+        "workers": BENCH_WORKERS,
+        "timing_repeats": TIMING_REPEATS,
+        "filter_settings_checked": list(FILTER_SETTINGS),
+        "serial_s": serial_s,
+        "sharded_s": sharded_s,
+        "speedup": serial_s / sharded_s,
+        "metrics": {k: round(v, 6) for k, v in metrics.items()},
+    }
+
+
+def test_parallel_eval(benchmark):
+    record = benchmark.pedantic(_run, rounds=1, iterations=1)
+    speedup = record["speedup"]
+    cores = record["cpu_count"]
+
+    lines = [f"## Sharded evaluation — {record['workers']} workers vs "
+             f"serial on {record['dataset']} ({cores} cores)",
+             f"{'path':24s}{'seconds/pass':>14s}{'speedup':>9s}",
+             f"{'serial (workers=1)':24s}{record['serial_s']:14.3f}"
+             f"{1.0:9.2f}x",
+             f"{'sharded (workers=' + str(record['workers']) + ')':24s}"
+             f"{record['sharded_s']:14.3f}{speedup:9.2f}x",
+             "metric rows identical across worker counts and all "
+             "filter settings: yes"]
+    emit(lines)
+    write_result_table("parallel_eval", lines)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    with open(RESULTS_DIR / "parallel_eval.json", "w") as handle:
+        json.dump(record, handle, indent=2)
+
+    # The speedup claim needs cores to shard across; parity above is the
+    # universal contract.
+    if cores is not None and cores >= 4:
+        assert speedup >= 2.0, (
+            f"sharded evaluation only {speedup:.2f}x faster at "
+            f"{record['workers']} workers on {cores} cores")

@@ -49,6 +49,12 @@ def _add_common_model_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="forked shard workers (repro.parallel); "
+                             "metric rows are identical for every value")
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset)
     model = build_model(args.model, dataset, dim=args.dim, seed=args.seed)
@@ -56,6 +62,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
                                   window=args.window,
                                   eval_every=args.eval_every,
                                   patience=args.patience,
+                                  workers=args.workers,
+                                  grad_accum=args.grad_accum,
                                   verbose=not args.quiet))
     telemetry = NULL_TELEMETRY
     if args.trace:
@@ -92,7 +100,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         telemetry.attach_trace(args.trace)
     metrics = evaluate(model, dataset, args.split, window=args.window,
                        filter_setting=args.filter, records=records,
-                       telemetry=telemetry)
+                       workers=args.workers, telemetry=telemetry)
     print(format_metric_row(args.model, metrics))
     if args.trace:
         telemetry.detach_trace()
@@ -114,7 +122,8 @@ def _cmd_noise(args: argparse.Namespace) -> int:
     model = build_model(args.model, dataset, dim=args.dim, seed=args.seed)
     load_checkpoint(model, args.checkpoint)
     result = noise_sweep(model, dataset, sigmas=tuple(args.sigmas),
-                         window=args.window, model_name=args.model)
+                         window=args.window, model_name=args.model,
+                         workers=args.workers)
     print(f"{'sigma':>8s}{'MRR':>8s}{'H@1':>8s}{'H@10':>8s}")
     for point in result.points:
         print(f"{point.sigma:8.2f}{point.mrr:8.2f}{point.hits1:8.2f}"
@@ -128,9 +137,11 @@ def _cmd_online(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset)
     model = build_model(args.model, dataset, dim=args.dim, seed=args.seed)
     load_checkpoint(model, args.checkpoint)
-    offline = evaluate(model, dataset, "test", window=args.window)
+    offline = evaluate(model, dataset, "test", window=args.window,
+                       workers=args.workers)
     online = evaluate_online(model, dataset,
-                             OnlineConfig(window=args.window, lr=args.lr))
+                             OnlineConfig(window=args.window, lr=args.lr),
+                             workers=args.workers)
     print(format_metric_row(f"{args.model} (offline)", offline))
     print(format_metric_row(f"{args.model} (online)", online))
     return 0
@@ -169,9 +180,10 @@ def _serve_handle(engine, request: dict) -> dict:
                              "...]")
         time = request.get("time")
         filtered = bool(request.get("filtered", True))
+        workers = int(request.get("workers", 1))
         ranks = engine.rank_queries(queries[:, 0], queries[:, 1],
                                     queries[:, 2], time=time,
-                                    filtered=filtered)
+                                    filtered=filtered, workers=workers)
         return {"ok": True, "op": op,
                 "time": engine.next_time if time is None else int(time),
                 "filtered": filtered,
@@ -193,7 +205,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         {"op": "advance", "time": 80, "facts": [[s, r, o], ...]}
         {"op": "predict", "queries": [[s, r], ...], "topk": 5}
-        {"op": "rank", "queries": [[s, r, o], ...], "filtered": true}
+        {"op": "rank", "queries": [[s, r, o], ...], "filtered": true,
+         "workers": 1}
         {"op": "stats"}
         {"op": "save", "path": "engine_state.npz"}
 
@@ -268,6 +281,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--lr", type=float, default=2e-3)
     p_train.add_argument("--eval-every", type=int, default=4)
     p_train.add_argument("--patience", type=int, default=4)
+    _add_workers_arg(p_train)
+    p_train.add_argument("--grad-accum", type=int, default=None,
+                         help="batches per optimizer step in sharded mode "
+                              "(defaults to --workers; 1 reproduces the "
+                              "serial trainer's numerics)")
     p_train.add_argument("--out", help="checkpoint output path (.npz)")
     p_train.add_argument("--trace",
                          help="write a repro.obs JSONL trace of the run "
@@ -288,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a repro.obs JSONL trace of the pass "
                              "(forward/rank spans, history-cache hit/miss "
                              "counters)")
+    _add_workers_arg(p_eval)
     p_eval.set_defaults(func=_cmd_evaluate)
 
     p_noise = sub.add_parser("noise", help="Gaussian-noise sweep")
@@ -295,12 +314,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_noise.add_argument("--checkpoint", required=True)
     p_noise.add_argument("--sigmas", type=float, nargs="+",
                          default=[0.0, 0.5, 1.0, 2.0])
+    _add_workers_arg(p_noise)
     p_noise.set_defaults(func=_cmd_noise)
 
     p_online = sub.add_parser("online", help="online-learning evaluation")
     _add_common_model_args(p_online)
     p_online.add_argument("--checkpoint", required=True)
     p_online.add_argument("--lr", type=float, default=1e-3)
+    _add_workers_arg(p_online)
     p_online.set_defaults(func=_cmd_online)
 
     p_serve = sub.add_parser("serve", help="incremental online inference "

@@ -51,6 +51,7 @@ def evaluate(model: ExtrapolationModel, dataset: TKGDataset, split: str,
              phases: Sequence[str] = PHASES,
              records: Optional[List[QueryRecord]] = None,
              batched: bool = True,
+             workers: int = 1,
              telemetry: Telemetry = NULL_TELEMETRY) -> Dict[str, float]:
     """Evaluate ``model`` on one split and return the paper's metric row.
 
@@ -78,6 +79,12 @@ def evaluate(model: ExtrapolationModel, dataset: TKGDataset, split: str,
         Use the vectorized filter+rank kernel (default).  ``False``
         selects the legacy per-query path; both produce bitwise-identical
         ranks (asserted by the parity tests).
+    workers:
+        Shard the pass across this many forked worker processes
+        (:mod:`repro.parallel`).  Metric rows are bitwise-identical to
+        ``workers=1`` for every worker count (see
+        ``docs/parallel.md``); ``1`` (default) keeps the classic serial
+        walk in-process.
     telemetry:
         Optional :class:`repro.obs.Telemetry`; when given, the pass
         records ``context_build`` (history/filter construction),
@@ -108,28 +115,47 @@ def evaluate(model: ExtrapolationModel, dataset: TKGDataset, split: str,
 
     was_training = bool(getattr(model, "training", False))
     model.eval()
-    rank_batch = batch_ranks_vectorized if batched else batch_ranks_per_query
     accumulator = RankingAccumulator()
-    for batch in iter_timestep_batches(dataset, split, context, phases=phases):
-        with telemetry.span("forward"):
-            scores = model.predict_on(batch)
-        with telemetry.span("rank"):
-            ranks = rank_batch(scores, batch, time_filter, static_filter)
-        accumulator.add_ranks(ranks)
-        telemetry.incr("queries_evaluated", len(batch))
-        if records is not None:
-            for row, (s, r, o) in enumerate(zip(batch.subjects,
-                                                batch.relations,
-                                                batch.objects)):
-                records.append(QueryRecord(
-                    subject=int(s), relation=int(r), gold_object=int(o),
-                    time=batch.time, phase=batch.phase,
-                    rank=float(ranks[row])))
+    if workers != 1:
+        # Lazy import: repro.parallel is an execution detail, and eager
+        # importing it here would cycle back through repro.eval.
+        from ..parallel.evaluation import sharded_ranks
+        batches = list(iter_timestep_batches(dataset, split, context,
+                                             phases=phases))
+        all_ranks = sharded_ranks(model, batches, time_filter, static_filter,
+                                  batched=batched, workers=workers,
+                                  telemetry=telemetry)
+        for batch, ranks in zip(batches, all_ranks):
+            accumulator.add_ranks(ranks)
+            if records is not None:
+                _record_batch(records, batch, ranks)
+    else:
+        rank_batch = (batch_ranks_vectorized if batched
+                      else batch_ranks_per_query)
+        for batch in iter_timestep_batches(dataset, split, context,
+                                           phases=phases):
+            with telemetry.span("forward"):
+                scores = model.predict_on(batch)
+            with telemetry.span("rank"):
+                ranks = rank_batch(scores, batch, time_filter, static_filter)
+            accumulator.add_ranks(ranks)
+            telemetry.incr("queries_evaluated", len(batch))
+            if records is not None:
+                _record_batch(records, batch, ranks)
     if was_training:
         model.train()
     else:
         model.eval()
     return accumulator.summary()
+
+
+def _record_batch(records: List[QueryRecord], batch, ranks) -> None:
+    """Append one batch's per-query records in row order."""
+    for row, (s, r, o) in enumerate(zip(batch.subjects, batch.relations,
+                                        batch.objects)):
+        records.append(QueryRecord(
+            subject=int(s), relation=int(r), gold_object=int(o),
+            time=batch.time, phase=batch.phase, rank=float(ranks[row])))
 
 
 def format_metric_row(name: str, metrics: Dict[str, float]) -> str:

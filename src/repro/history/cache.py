@@ -67,6 +67,7 @@ class LRUCache:
         return self._entries[key]
 
     def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh an entry, evicting least-recent past capacity."""
         self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > max(self.capacity, 0):
@@ -80,6 +81,7 @@ class LRUCache:
         return len(stale)
 
     def clear(self) -> None:
+        """Drop every entry."""
         self._entries.clear()
 
 
@@ -157,5 +159,6 @@ class ContextCache:
         self.subgraphs.evict_if(lambda key: key[0] > time)
 
     def clear(self) -> None:
+        """Drop both layers (model changed; nothing remains valid)."""
         self.contexts.clear()
         self.subgraphs.clear()

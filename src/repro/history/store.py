@@ -133,6 +133,7 @@ class HistoryStore:
 
     @property
     def num_snapshots(self) -> int:
+        """How many snapshots are stored."""
         return len(self._snap_times)
 
     def snapshot_times(self) -> List[int]:

@@ -70,6 +70,22 @@ class StageStats:
                    max(0, math.ceil(q * len(ordered)) - 1))
         return ordered[rank]
 
+    def merge(self, other: "StageStats") -> None:
+        """Fold another accumulator's samples into this one.
+
+        Counts and totals add, extrema widen, and the bounded reservoir
+        absorbs the other's retained samples (so post-merge percentiles
+        are estimated over both sides' recent windows).  Used to fold a
+        shard worker's span statistics back into the parent registry.
+        """
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total_s += other.total_s
+        self.min_s = min(self.min_s, other.min_s)
+        self.max_s = max(self.max_s, other.max_s)
+        self.recent.extend(other.recent)
+
     def as_dict(self) -> Dict[str, float]:
         """Millisecond-scaled summary (the latency-span schema)."""
         mean = self.total_s / self.count if self.count else 0.0
@@ -199,6 +215,43 @@ class Telemetry:
     def _emit(self, event: Dict) -> None:
         self._trace.write(json.dumps(event) + "\n")
 
+    # -- cross-process merge --------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """A picklable snapshot of every span/counter/scalar.
+
+        This is the cross-process transport format: a shard worker
+        records into its own private :class:`Telemetry`, ships the
+        exported state back over the process boundary, and the parent
+        folds it in through :meth:`merge_state`.  Unlike
+        :meth:`as_dict` (a rendered summary), the exported state keeps
+        the raw :class:`StageStats` accumulators so merged percentiles
+        stay meaningful.
+        """
+        return {
+            "stages": dict(self.stages),
+            "counters": dict(self.counters),
+            "scalars": dict(self.scalars),
+        }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold an :meth:`export_state` snapshot into this registry.
+
+        Span and scalar accumulators merge sample-wise
+        (:meth:`StageStats.merge`); counters add.  Merging is
+        commutative over disjoint shards, so the parent may fold worker
+        summaries in any order — metric determinism never depends on it.
+        """
+        for name, stage in state.get("stages", {}).items():
+            self.stages[name].merge(stage)
+        for counter, amount in state.get("counters", {}).items():
+            self.counters[counter] += amount
+        for name, series in state.get("scalars", {}).items():
+            self.scalars[name].merge(series)
+
+    def merge_child(self, child: "Telemetry") -> None:
+        """Fold another live instance in (in-process convenience form)."""
+        self.merge_state(child.export_state())
+
     # -- export ---------------------------------------------------------
     def as_dict(self) -> Dict[str, object]:
         """The shared telemetry schema (ingested by the benchmark suite)."""
@@ -246,6 +299,11 @@ class NullTelemetry(Telemetry):
         pass
 
     def observe(self, series: str, value: float) -> None:
+        pass
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        # The singleton must stay empty: a merge would make NULL_TELEMETRY
+        # accumulate state across unrelated runs.
         pass
 
     def attach_trace(self, path: str) -> None:

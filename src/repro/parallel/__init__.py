@@ -1,0 +1,27 @@
+"""Process-pool execution layer: shard the read and train paths.
+
+The package has three parts, layered strictly bottom-up:
+
+* :mod:`repro.parallel.pool` — :class:`ShardPool`, a fork-based worker
+  pool whose shared state is inherited copy-on-write (never pickled),
+  with a serial in-process fallback that runs the identical shard
+  protocol at ``workers=1`` or on fork-less platforms.
+* :mod:`repro.parallel.evaluation` — sharded filtered evaluation,
+  online predict sharding, and row-sharded serving-side ranking.
+* :mod:`repro.parallel.training` — sharded gradient accumulation for
+  :class:`repro.training.Trainer`.
+
+Consumers (``eval/protocol.py``, ``training/trainer.py``, ``serving``,
+``cli``) import this package lazily inside functions, so the dependency
+arrow points from the protocols down into ``repro.parallel`` only when a
+``workers`` request is actually made.
+"""
+
+from .pool import ShardPool, fork_available, plan_shards, resolve_workers
+
+__all__ = [
+    "ShardPool",
+    "fork_available",
+    "plan_shards",
+    "resolve_workers",
+]

@@ -1,0 +1,155 @@
+"""Fork-based shard pool: the process-level execution layer.
+
+Every hot read path in the repository — filtered evaluation, the online
+protocol's predict phase, the noise sweep, serving-side ranking — walks
+per-timestamp query shards whose only shared state is the *immutable*
+history (:class:`repro.history.HistoryStore`'s fact buffer, the filters'
+answer maps, the model's weights).  That makes the work embarrassingly
+shardable: a forked worker inherits the whole parent image copy-on-write
+and needs nothing pickled but a few-byte shard descriptor, and results
+merge deterministically because every shard's output is a pure function
+of (inherited state, descriptor).
+
+:class:`ShardPool` packages that pattern:
+
+* **state is inherited, not shipped** — the parent registers the shared
+  state *before* forking; workers read it back through the module-level
+  registry captured by ``fork``.  The multi-megabyte fact buffers and
+  weight matrices cross the process boundary for free.
+* **tasks are descriptors, results are small** — a task is typically a
+  ``(start, end)`` range of batch indices; a result is a rank array plus
+  a :meth:`repro.obs.Telemetry.export_state` snapshot.
+* **order in, order out** — :meth:`ShardPool.map` returns results in
+  task-submission order regardless of which worker finished first, which
+  is what keeps merged metric rows bitwise-identical to the serial walk.
+* **graceful degradation** — ``workers=1``, or any platform without the
+  ``fork`` start method, runs the identical shard protocol serially in
+  the parent process.  Same code path, same reduction tree, same floats.
+
+The pool is deliberately synchronous and scoped (use it as a context
+manager); it is an execution detail of the protocols in
+:mod:`repro.parallel.evaluation` / :mod:`repro.parallel.training`, not a
+general task system.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+# Shared-state registry, keyed by pool token.  Entries are registered
+# before the pool forks, so worker processes inherit them copy-on-write;
+# tokens keep nested pools (a sharded evaluate inside a sharded fit)
+# from clobbering one another.
+_SHARED: Dict[int, Any] = {}
+_TOKENS = itertools.count(1)
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method.
+
+    Copy-on-write inheritance is the whole point of the pool — spawn
+    would re-import and re-pickle everything — so on fork-less platforms
+    (Windows, some macOS configurations) the pool degrades to the serial
+    shard protocol instead.
+    """
+    return "fork" in mp.get_all_start_methods()
+
+
+def resolve_workers(workers: int) -> int:
+    """Clamp a ``--workers`` request to what the platform can honour."""
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers if fork_available() else 1
+
+
+def plan_shards(num_items: int, workers: int,
+                oversubscribe: int = 2) -> List[Tuple[int, int]]:
+    """Split ``range(num_items)`` into contiguous ``(start, end)`` shards.
+
+    Produces roughly ``workers * oversubscribe`` near-equal shards so a
+    slow shard cannot stall the pool for a whole epoch of work; for one
+    worker the plan is a single shard (the serial walk).  Contiguity
+    matters: batch lists are time-ordered, so a contiguous shard advances
+    its worker's monotonic history index forward only.
+    """
+    if num_items <= 0:
+        return []
+    if workers <= 1:
+        return [(0, num_items)]
+    target = min(num_items, max(1, workers * oversubscribe))
+    bounds = [round(i * num_items / target) for i in range(target + 1)]
+    return [(a, b) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+
+
+def _invoke(item: Tuple[Callable[[Any, Any], Any], int, Any]) -> Any:
+    """Run one task against the registered shared state (worker side)."""
+    fn, token, payload = item
+    return fn(_SHARED[token], payload)
+
+
+class ShardPool:
+    """A pool of forked workers sharing parent state copy-on-write.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``1`` (or a fork-less platform)
+        runs tasks serially in the parent through the identical shard
+        protocol, so results are reduction-tree-identical to the
+        parallel run.
+    shared:
+        Arbitrary state registered for the pool's lifetime.  Workers
+        receive it as the first argument of every task function; because
+        it is registered *before* the fork, it is inherited by the
+        worker images and never pickled.
+
+    Notes
+    -----
+    Task functions must be module-level (they cross the process boundary
+    by reference).  Worker-side mutation of the shared state affects only
+    that worker's copy — the pattern relies on the state being immutable
+    or worker-private (history stores, caches of pure functions).
+    """
+
+    def __init__(self, workers: int, shared: Any = None):
+        self.workers = resolve_workers(workers)
+        self._token = next(_TOKENS)
+        _SHARED[self._token] = shared
+        self._pool: Optional[Any] = None
+        if self.workers > 1:
+            # State must be registered before this line: Pool() forks
+            # its workers immediately, snapshotting _SHARED.
+            self._pool = mp.get_context("fork").Pool(self.workers)
+
+    # -- execution ------------------------------------------------------
+    def map(self, fn: Callable[[Any, Any], Any],
+            payloads: Sequence[Any]) -> List[Any]:
+        """Run ``fn(shared, payload)`` per payload; results in task order.
+
+        Worker exceptions propagate to the caller.  ``chunksize=1``
+        keeps scheduling greedy so heterogeneous shards load-balance.
+        """
+        if self._token not in _SHARED:
+            raise RuntimeError("ShardPool used after close()")
+        items = [(fn, self._token, payload) for payload in payloads]
+        if self._pool is None:
+            return [_invoke(item) for item in items]
+        return self._pool.map(_invoke, items, chunksize=1)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Terminate workers and drop the registered shared state."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        _SHARED.pop(self._token, None)
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

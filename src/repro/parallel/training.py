@@ -1,0 +1,163 @@
+"""Sharded gradient accumulation for the offline trainer.
+
+The serial trainer takes one Adam step per timestamp batch.  The sharded
+mode instead walks the same time-ordered batch list in groups of
+``grad_accum`` batches: every batch in a group is shipped to a worker as
+``(epoch, weights, batch_index)``, the worker computes that batch's
+gradients against the *group-start* weights, and the parent reduces the
+group's gradients to their mean, clips, and applies one Adam step.
+
+Determinism contract
+--------------------
+* The reduction tree is fixed: one task per batch, gradients summed in
+  batch order, divided by the group size.  Results return in submission
+  order regardless of worker scheduling, and every training-time RNG
+  (dropout masks, RReLU slopes) is reset per task to the substream
+  ``(key, epoch, batch)`` — key drawn once in the parent
+  (:meth:`repro.interface.ExtrapolationModel.reseed_rngs`).  A step is
+  therefore a pure function of (weights, task): ``workers=1`` and
+  ``workers=N`` produce bitwise-identical weight trajectories for the
+  same ``grad_accum``.
+* ``grad_accum=1`` degenerates to one batch per step against current
+  weights — the classic serial trainer's *schedule* exactly.  For
+  models with no training-time stochasticity the floats match the
+  serial trainer bitwise (the single-gradient "mean" skips the scale);
+  models that draw dropout/RReLU noise get per-task substreams instead
+  of the serial trainer's one sequential stream — same distribution,
+  different draws (the same trade the sharded noisy evaluation makes).
+* ``grad_accum>1`` is a *different* (large-batch) schedule from the
+  serial trainer — same model, coarser optimizer cadence — and is
+  deterministic in its own right.
+
+Workers inherit the model, the :class:`repro.training.context
+.HistoryContext` and the materialized batch list copy-on-write at pool
+creation; only weights and gradients cross the process boundary.  Each
+worker rewinds its private history-store copy when it first sees a new
+epoch, mirroring the serial trainer's per-epoch ``context.reset()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs import NULL_TELEMETRY, Telemetry
+from .pool import ShardPool
+
+
+def _run_grad_shard(state: Dict, payload: Tuple[int, Dict, int]
+                    ) -> Tuple[float, Dict[str, np.ndarray], Dict]:
+    """Compute one batch's loss and gradients (worker side).
+
+    The worker loads the shipped weights, rewinds its private history
+    copy on epoch boundaries (batch times restart each epoch and the
+    store cursor is monotonic), and returns ``(loss, {name: grad},
+    aux_state, telemetry_state)``.
+    """
+    epoch, weights, index = payload
+    telemetry = Telemetry("shard")
+    model = state["model"]
+    context = state["context"]
+    context.bind_telemetry(telemetry)
+    if state.get("epoch_seen") != epoch:
+        context.reset()
+        state["epoch_seen"] = epoch   # worker-private under fork
+    model.load_state_dict(weights)
+    model.reseed_rngs((state["rng_key"], epoch, index))
+    model.train()
+    for param in model.parameters():
+        param.grad = None
+    batch = state["batches"][index]
+    with telemetry.span("step"):
+        loss = model.loss_on(batch)
+        loss.backward()
+    telemetry.incr("train_steps")
+    grads = {name: param.grad
+             for name, param in model.named_parameters()
+             if param.grad is not None}
+    return (float(loss.data), grads, model.export_aux_state(),
+            telemetry.export_state())
+
+
+class GradientShardRunner:
+    """Pool wrapper computing group-mean gradients across workers.
+
+    One runner (and its pool) lives for a whole :meth:`Trainer.fit`; the
+    trainer drives it one accumulation group at a time and owns the
+    optimizer step.
+    """
+
+    def __init__(self, model, context, batches: Sequence, workers: int,
+                 telemetry: Telemetry = NULL_TELEMETRY):
+        self._model = model
+        self._context = context
+        self._telemetry = telemetry
+        # Drawn pre-fork, so every worker count derives the same per-task
+        # dropout/RReLU substreams; drawing (not fixing) it keeps repeated
+        # fits of one model from replaying identical noise.
+        rng_key = model.draw_noise_seed()
+        state = {"model": model, "context": context,
+                 "batches": list(batches), "epoch_seen": None,
+                 "rng_key": rng_key}
+        self._pool = ShardPool(workers, shared=state)
+
+    @property
+    def workers(self) -> int:
+        """The resolved worker count (1 on fork-less platforms)."""
+        return self._pool.workers
+
+    def group_gradients(self, epoch: int, indices: Sequence[int]
+                        ) -> Tuple[List[float], Dict[str, np.ndarray]]:
+        """Mean gradients of one accumulation group at current weights.
+
+        Returns the per-batch losses (in batch order) and the name-keyed
+        mean gradient.  A parameter absent from every batch's gradient
+        is absent from the result (the caller leaves its ``grad`` unset,
+        as the serial path would).
+        """
+        weights = self._model.state_dict()
+        payloads = [(int(epoch), weights, int(i)) for i in indices]
+        results = self._pool.map(_run_grad_shard, payloads)
+        # The serial fallback rebound the shared context's telemetry to
+        # per-task shard instances; restore the trainer's.
+        self._context.bind_telemetry(self._telemetry)
+        losses: List[float] = []
+        summed: Dict[str, np.ndarray] = {}
+        for loss, grads, aux_state, telemetry_state in results:
+            losses.append(loss)
+            self._telemetry.merge_state(telemetry_state)
+            for name, grad in grads.items():
+                summed[name] = (grad if name not in summed
+                                else summed[name] + grad)
+        # Heuristic state mutated by training-mode forwards (e.g. the
+        # interpolation baselines' max_trained_time) lives only in the
+        # workers under fork; reduce it back so the parent model leaves
+        # training exactly as a serial run would.
+        self._model.merge_aux_state([aux for _, _, aux, _ in results])
+        if len(results) > 1:
+            scale = float(len(results))
+            summed = {name: grad / scale for name, grad in summed.items()}
+        return losses, summed
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent)."""
+        self._pool.close()
+
+    def __enter__(self) -> "GradientShardRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def accumulation_groups(num_batches: int,
+                        grad_accum: int) -> List[List[int]]:
+    """Partition ``range(num_batches)`` into consecutive step groups.
+
+    The last group may be short; each group becomes one optimizer step.
+    """
+    if grad_accum < 1:
+        raise ValueError(f"grad_accum must be >= 1, got {grad_accum}")
+    return [list(range(start, min(start + grad_accum, num_batches)))
+            for start in range(0, num_batches, grad_accum)]

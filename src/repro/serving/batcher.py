@@ -33,6 +33,7 @@ class PendingQuery:
 
     @property
     def done(self) -> bool:
+        """Whether a flush has resolved this ticket."""
         return self.scores is not None
 
     def topk(self, k: int = 10) -> List[Tuple[int, float]]:

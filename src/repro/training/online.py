@@ -42,6 +42,7 @@ class OnlineConfig:
 def evaluate_online(model: ExtrapolationModel, dataset: TKGDataset,
                     config: OnlineConfig = OnlineConfig(),
                     batched: bool = True,
+                    workers: int = 1,
                     telemetry: Telemetry = NULL_TELEMETRY
                     ) -> Dict[str, float]:
     """Walk the test split online: predict at t, then adapt on t's facts.
@@ -50,9 +51,13 @@ def evaluate_online(model: ExtrapolationModel, dataset: TKGDataset,
     and offline numbers are directly comparable (Fig. 10).  The caller's
     train/eval mode is restored on return.  ``batched=False`` selects the
     legacy per-query ranking path (bitwise-identical to the default
-    batched kernel; kept for the parity tests).  A ``telemetry`` instance
-    records ``context_build`` / ``predict`` / ``adapt`` spans plus
-    ``queries_evaluated`` and ``adapt_steps`` counters.
+    batched kernel; kept for the parity tests).  ``workers`` shards each
+    timestamp's predict phase across forked processes
+    (:mod:`repro.parallel`); adaptation stays serial in the parent, so
+    metric rows are bitwise-identical for every worker count.  A
+    ``telemetry`` instance records ``context_build`` / ``predict`` /
+    ``adapt`` spans plus ``queries_evaluated`` and ``adapt_steps``
+    counters.
     """
     with telemetry.span("context_build"):
         context = HistoryContext(dataset, window=config.window,
@@ -74,28 +79,44 @@ def evaluate_online(model: ExtrapolationModel, dataset: TKGDataset,
     for batch in batches:
         by_time.setdefault(batch.time, []).append(batch)
 
-    for t in sorted(by_time):
-        group = by_time[t]
-        # 1. predict (eval mode, filtered ranking)
-        model.eval()
-        with telemetry.span("predict"):
-            for batch in group:
-                scores = model.predict_on(batch)
-                accumulator.add_ranks(
-                    rank_batch(scores, batch, time_filter))
-                telemetry.incr("queries_evaluated", len(batch))
-        # 2. adapt on the now-revealed facts of t
-        model.train()
-        with telemetry.span("adapt"):
-            for _ in range(config.steps_per_timestamp):
-                for batch in group:
-                    optimizer.zero_grad()
-                    loss = model.loss_on(batch)
-                    loss.backward()
-                    clip_grad_norm(model.parameters(), config.grad_clip,
-                                   telemetry=telemetry)
-                    optimizer.step()
-                    telemetry.incr("adapt_steps")
+    runner = None
+    if workers != 1:
+        # Lazy import: repro.parallel is an execution detail of this
+        # protocol, pulled in only when sharding is requested.
+        from ..parallel.evaluation import OnlineShardRunner
+        runner = OnlineShardRunner(model, batches, time_filter,
+                                   batched=batched, workers=workers)
+    try:
+        for t in sorted(by_time):
+            group = by_time[t]
+            # 1. predict (eval mode, filtered ranking)
+            model.eval()
+            if runner is not None:
+                for ranks in runner.predict_group(group, telemetry=telemetry):
+                    accumulator.add_ranks(ranks)
+            else:
+                with telemetry.span("predict"):
+                    for batch in group:
+                        scores = model.predict_on(batch)
+                        accumulator.add_ranks(
+                            rank_batch(scores, batch, time_filter))
+                        telemetry.incr("queries_evaluated", len(batch))
+            # 2. adapt on the now-revealed facts of t
+            model.train()
+            with telemetry.span("adapt"):
+                for _ in range(config.steps_per_timestamp):
+                    for batch in group:
+                        optimizer.zero_grad()
+                        loss = model.loss_on(batch)
+                        loss.backward()
+                        clip_grad_norm(model.parameters(), config.grad_clip,
+                                       telemetry=telemetry)
+                        optimizer.step()
+                        telemetry.incr("adapt_steps")
+    finally:
+        if runner is not None:
+            runner.close()
+            context.bind_telemetry(telemetry)
     if was_training:
         model.train()
     else:

@@ -1,0 +1,41 @@
+"""Every fenced python block in the docs must execute.
+
+Thin pytest wrapper around ``tools/run_doc_snippets.py`` — one
+subprocess per doc file, so snippet side effects (registry entries,
+patched presets, working-directory changes) stay isolated from the
+rest of the suite.  See the harness module for the execution model.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+HARNESS = os.path.join(REPO_ROOT, "tools", "run_doc_snippets.py")
+
+
+def _doc_files():
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs = os.path.join(REPO_ROOT, "docs")
+    files.extend(os.path.join(docs, name)
+                 for name in sorted(os.listdir(docs))
+                 if name.endswith(".md"))
+    return [path for path in files
+            if "```python" in open(path, encoding="utf-8").read()]
+
+
+@pytest.mark.parametrize("doc_path", _doc_files(),
+                         ids=lambda p: os.path.relpath(p, REPO_ROOT))
+def test_doc_snippets_execute(doc_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    result = subprocess.run([sys.executable, HARNESS, doc_path],
+                            capture_output=True, text=True, env=env,
+                            cwd=REPO_ROOT, timeout=600)
+    assert result.returncode == 0, (
+        f"doc snippets failed for {os.path.relpath(doc_path, REPO_ROOT)}\n"
+        f"--- stdout ---\n{result.stdout}\n"
+        f"--- stderr ---\n{result.stderr}")

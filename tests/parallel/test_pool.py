@@ -1,0 +1,88 @@
+"""Unit tests for the fork-based shard pool primitives."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (ShardPool, fork_available, plan_shards,
+                            resolve_workers)
+from repro.parallel.pool import _SHARED
+
+
+def _double(shared, payload):
+    return shared["factor"] * payload
+
+
+def _read_array_sum(shared, payload):
+    start, end = payload
+    return float(shared["data"][start:end].sum())
+
+
+class TestPlanShards:
+    def test_single_worker_is_one_shard(self):
+        assert plan_shards(10, 1) == [(0, 10)]
+
+    def test_empty(self):
+        assert plan_shards(0, 4) == []
+
+    def test_shards_cover_range_contiguously(self):
+        for n in (1, 2, 7, 100, 101):
+            for workers in (2, 3, 4):
+                shards = plan_shards(n, workers)
+                covered = [i for a, b in shards for i in range(a, b)]
+                assert covered == list(range(n))
+                assert all(b > a for a, b in shards)
+
+    def test_oversubscription_bounds_shard_count(self):
+        shards = plan_shards(100, 4, oversubscribe=2)
+        assert len(shards) == 8
+        # Never more shards than items.
+        assert len(plan_shards(3, 4)) == 3
+
+
+class TestResolveWorkers:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+    def test_passthrough_when_fork_available(self):
+        if fork_available():
+            assert resolve_workers(3) == 3
+        else:  # pragma: no cover - platform-dependent
+            assert resolve_workers(3) == 1
+
+
+class TestShardPool:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_map_preserves_task_order(self, workers):
+        with ShardPool(workers, shared={"factor": 10}) as pool:
+            assert pool.map(_double, list(range(8))) == [10 * i
+                                                         for i in range(8)]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_workers_inherit_shared_arrays(self, workers):
+        data = np.arange(100, dtype=np.float64)
+        with ShardPool(workers, shared={"data": data}) as pool:
+            sums = pool.map(_read_array_sum, plan_shards(100, workers))
+        assert sum(sums) == float(data.sum())
+
+    def test_use_after_close_raises(self):
+        pool = ShardPool(1, shared={"factor": 1})
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.map(_double, [1])
+
+    def test_close_releases_registered_state(self):
+        pool = ShardPool(1, shared={"factor": 2})
+        token = pool._token
+        assert token in _SHARED
+        pool.close()
+        assert token not in _SHARED
+        pool.close()   # idempotent
+
+    def test_nested_pools_keep_separate_state(self):
+        with ShardPool(1, shared={"factor": 2}) as outer:
+            with ShardPool(1, shared={"factor": 5}) as inner:
+                assert outer.map(_double, [3]) == [6]
+                assert inner.map(_double, [3]) == [15]

@@ -1,0 +1,90 @@
+"""Determinism of the sharded gradient-accumulation trainer and the
+sharded online protocol (see repro/parallel/training.py's contract)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import tiny
+from repro.parallel.training import accumulation_groups
+from repro.registry import build_model
+from repro.training import (OnlineConfig, TrainConfig, Trainer,
+                            evaluate_online)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny()
+
+
+def _fit(dataset, name, workers, grad_accum, epochs=1):
+    model = build_model(name, dataset, dim=16, seed=0)
+    config = TrainConfig(epochs=epochs, eval_every=1, workers=workers,
+                         grad_accum=grad_accum)
+    result = Trainer(config).fit(model, dataset)
+    return result, model.state_dict()
+
+
+def _same_weights(a, b):
+    return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+
+class TestAccumulationGroups:
+    def test_partitions_consecutively(self):
+        assert accumulation_groups(5, 2) == [[0, 1], [2, 3], [4]]
+        assert accumulation_groups(4, 1) == [[0], [1], [2], [3]]
+        assert accumulation_groups(0, 2) == []
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            accumulation_groups(4, 0)
+
+
+class TestShardedFitDeterminism:
+    def test_worker_count_invariant_stochastic_model(self, dataset):
+        # LogCL draws dropout/RReLU noise during training — the hard case.
+        result_1, weights_1 = _fit(dataset, "logcl", workers=1, grad_accum=1)
+        result_2, weights_2 = _fit(dataset, "logcl", workers=2, grad_accum=1)
+        assert _same_weights(weights_1, weights_2)
+        assert result_1.train_losses == result_2.train_losses
+        assert result_1.valid_mrrs == result_2.valid_mrrs
+
+    def test_worker_count_invariant_with_accumulation(self, dataset):
+        _, weights_1 = _fit(dataset, "logcl", workers=1, grad_accum=2)
+        _, weights_2 = _fit(dataset, "logcl", workers=2, grad_accum=2)
+        assert _same_weights(weights_1, weights_2)
+
+    def test_grad_accum_one_matches_classic_serial(self, dataset):
+        # For a model with no training-time stochasticity, the sharded
+        # mode at grad_accum=1 must reproduce the serial trainer bitwise.
+        model = build_model("ttranse", dataset, dim=16, seed=0)
+        serial = Trainer(TrainConfig(epochs=1, eval_every=1)).fit(model,
+                                                                  dataset)
+        sharded_result, sharded_weights = _fit(dataset, "ttranse",
+                                               workers=2, grad_accum=1)
+        assert _same_weights(model.state_dict(), sharded_weights)
+        assert serial.train_losses == sharded_result.train_losses
+        assert serial.valid_mrrs == sharded_result.valid_mrrs
+
+
+class TestAuxStateReduction:
+    def test_heuristic_state_reaches_parent_model(self, dataset):
+        # Under fork only the workers run training-mode forwards; the
+        # interpolation baselines' max_trained_time clamp must still be
+        # reduced back into the parent model (regression: stale -1 made
+        # the in-fit validation disagree with a serial fit).
+        model = build_model("ttranse", dataset, dim=16, seed=0)
+        config = TrainConfig(epochs=1, eval_every=1, workers=2,
+                             grad_accum=1)
+        Trainer(config).fit(model, dataset)
+        train_times = dataset.splits()["train"].array[:, 3]
+        assert model.max_trained_time == int(train_times.max())
+
+
+class TestShardedOnline:
+    def test_online_metrics_worker_count_invariant(self, dataset):
+        metrics = []
+        for workers in (1, 2):
+            model = build_model("logcl", dataset, dim=16, seed=0)
+            metrics.append(evaluate_online(model, dataset, OnlineConfig(),
+                                           workers=workers))
+        assert metrics[0] == metrics[1]
