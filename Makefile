@@ -1,8 +1,9 @@
 # Convenience targets for the LogCL reproduction.
 
 .PHONY: install test test-fast bench bench-table3 serve-bench eval-bench \
-	history-bench train-telemetry-bench parallel-bench trace-demo \
-	experiments clean-cache docs-test lint lint-private lint-docstrings
+	history-bench train-telemetry-bench parallel-bench data-bench \
+	trace-demo experiments clean-cache docs-test lint lint-private \
+	lint-docstrings
 
 install:
 	pip install -e .
@@ -33,6 +34,9 @@ train-telemetry-bench:  ## telemetry overhead (<5%) and span coverage (>=95%)
 
 parallel-bench:  ## sharded-evaluation parity (always) + speedup (>=4 cores)
 	pytest benchmarks/test_parallel_eval.py --benchmark-only -s
+
+data-bench:  ## store-file capacity: ingest facts/s, bytes/fact, eval QPS
+	pytest benchmarks/test_data_capacity.py --benchmark-only -s
 
 docs-test:  ## executable docs: every fenced python block + every example script
 	PYTHONPATH=src python tools/run_doc_snippets.py
@@ -79,4 +83,12 @@ lint-private:  ## no reaching into GlobalHistoryIndex internals from outside
 		| grep -v 'src/repro/history/' \
 		|| { echo 'private snapshot/subgraph cache declared outside'\
 		' repro/history (use HistoryStore / ContextCache)'; \
+		exit 1; }
+	@! grep -rnE '(np|numpy)\.memmap\(' \
+		src tests benchmarks examples \
+		--include='*.py' \
+		| grep -v 'src/repro/data/storefile.py' \
+		|| { echo 'raw np.memmap constructed outside'\
+		' repro/data/storefile.py (use repro.data.open_store /'\
+		' map_columns so headers are validated)'; \
 		exit 1; }

@@ -20,6 +20,7 @@ import time
 from _harness import (BENCH_WINDOW, RESULTS_DIR, emit, get_trained_model,
                       logcl_overrides, write_result_table)
 from repro.eval.protocol import evaluate
+from repro.parallel import MIN_ITEMS_PER_SHARD, effective_workers
 
 DATASET = "icews14_like"
 FILTER_SETTINGS = ("time-aware", "raw", "static")
@@ -59,6 +60,9 @@ def _run():
         "dataset": DATASET,
         "cpu_count": os.cpu_count(),
         "workers": BENCH_WORKERS,
+        "min_items_per_shard": MIN_ITEMS_PER_SHARD,
+        "effective_workers": effective_workers(BENCH_WORKERS,
+                                               len(dataset.test)),
         "timing_repeats": TIMING_REPEATS,
         "filter_settings_checked": list(FILTER_SETTINGS),
         "serial_s": serial_s,
@@ -81,7 +85,10 @@ def test_parallel_eval(benchmark):
              f"{'sharded (workers=' + str(record['workers']) + ')':24s}"
              f"{record['sharded_s']:14.3f}{speedup:9.2f}x",
              "metric rows identical across worker counts and all "
-             "filter settings: yes"]
+             "filter settings: yes",
+             f"shard floor: {record['min_items_per_shard']} queries/shard "
+             f"-> {record['effective_workers']} effective workers for "
+             f"workers={record['workers']} on this split"]
     emit(lines)
     write_result_table("parallel_eval", lines)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)

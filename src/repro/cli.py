@@ -9,6 +9,8 @@ Subcommands
 ``serve``      incremental online inference over a JSONL stdin/stdout loop
 ``stats``      print Table II-style statistics for datasets
 ``generate``   write a synthetic preset to disk in the RE-GCN format
+``data``       ingest/convert raw benchmark dumps and pack history store
+               files (``data convert``, ``data inspect``, ``data export``)
 ``list``       list registered models and dataset presets
 
 Every command prints a compact, script-friendly report to stdout.
@@ -263,6 +265,54 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_data(args: argparse.Namespace) -> int:
+    """Dispatch the ``data`` sub-subcommands (convert/inspect/export)."""
+    import os
+
+    from .data import (IngestSpec, convert_directory, export_dataset,
+                       ingest_directory, read_info, write_store)
+
+    if args.data_command == "convert":
+        spec = IngestSpec(time_granularity=args.granularity,
+                          remap_ids=args.remap, name=args.name)
+        report = convert_directory(args.source, args.out, spec)
+        dataset = report.dataset
+        print(f"converted {args.source} -> {args.out}: "
+              f"{report.facts_read} lines read, "
+              f"{report.dropped_duplicates} duplicates dropped, "
+              f"splits {report.split_counts}, "
+              f"{dataset.num_entities} entities / "
+              f"{dataset.num_relations} relations"
+              f"{' (remapped)' if report.entities_remapped else ''}")
+        if args.store:
+            info = write_store(args.store, dataset)
+            print(info.describe())
+        return 0
+    if args.data_command == "inspect":
+        if os.path.isdir(args.path):
+            report = ingest_directory(args.path)
+            dataset = report.dataset
+            print(f"{args.path}: splits {report.split_counts}, "
+                  f"{dataset.num_entities} entities / "
+                  f"{dataset.num_relations} relations / "
+                  f"{dataset.num_timestamps} timestamps")
+        else:
+            print(read_info(args.path).describe())
+        return 0
+    if args.data_command == "export":
+        dataset = _load_dataset(args.dataset)
+        export_dataset(dataset, args.out, named=args.named)
+        print(f"exported {dataset.name} "
+              f"({len(dataset.train)}/{len(dataset.valid)}"
+              f"/{len(dataset.test)} facts) to {args.out}"
+              f"{' with vocabulary names' if args.named else ''}")
+        if args.store:
+            info = write_store(args.store, dataset)
+            print(info.describe())
+        return 0
+    raise ValueError(f"unknown data command {args.data_command!r}")
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("models:   " + ", ".join(model_names()))
     print("datasets: " + ", ".join(preset_names()))
@@ -344,6 +394,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--seed", type=int, default=None)
     p_gen.add_argument("--out", required=True)
     p_gen.set_defaults(func=_cmd_generate)
+
+    p_data = sub.add_parser("data", help="ingest, convert and pack datasets")
+    data_sub = p_data.add_subparsers(dest="data_command", required=True)
+    p_convert = data_sub.add_parser(
+        "convert", help="normalize a raw benchmark dump into a canonical "
+                        "integer-id directory (plus optional store file)")
+    p_convert.add_argument("source", help="raw dump directory "
+                                          "(train/valid/test.txt)")
+    p_convert.add_argument("out", help="output directory")
+    p_convert.add_argument("--granularity", type=int, default=1,
+                           help="raw time ticks per snapshot bucket")
+    p_convert.add_argument("--remap", default="auto",
+                           choices=("auto", "always", "never"),
+                           help="id remapping policy (auto keeps ids that "
+                                "are already dense)")
+    p_convert.add_argument("--name", default=None, help="dataset name")
+    p_convert.add_argument("--store",
+                           help="also pack the history into a memory-"
+                                "mappable store file at this path")
+    p_convert.set_defaults(func=_cmd_data)
+    p_inspect = data_sub.add_parser(
+        "inspect", help="describe a store file or benchmark directory")
+    p_inspect.add_argument("path")
+    p_inspect.set_defaults(func=_cmd_data)
+    p_export = data_sub.add_parser(
+        "export", help="write a dataset (preset or directory) as a raw "
+                       "benchmark dump")
+    p_export.add_argument("dataset", help="preset name or dataset directory")
+    p_export.add_argument("out", help="output directory")
+    p_export.add_argument("--named", action="store_true",
+                          help="emit vocabulary names instead of integer "
+                               "ids (exercises string ingestion)")
+    p_export.add_argument("--store",
+                          help="also pack the history into a memory-"
+                               "mappable store file at this path")
+    p_export.set_defaults(func=_cmd_data)
 
     p_list = sub.add_parser("list", help="list models and datasets")
     p_list.set_defaults(func=_cmd_list)

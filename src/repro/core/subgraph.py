@@ -15,16 +15,29 @@ For a query ``(s, r, ?, t_q)`` the paper samples, from all facts before
 Because LogCL processes all queries of one timestamp as a batch, the
 subgraphs of the individual queries are merged into one edge set per
 timestamp, and the single global R-GCN pass encodes them all at once.
+
+Storage model
+-------------
+Facts live in two time-sorted regions: an immutable columnar **base**
+(four aligned ``(s, r, o, t)`` arrays, adopted as-is — for a
+memory-mapped ``repro.data`` store file these are zero-copy views into
+the file) and a growable row-major **tail** that absorbs streamed
+:meth:`GlobalHistoryIndex.extend` appends.  Base rows always precede
+tail rows in time, so binary search and row gathering span both regions
+with plain offset arithmetic.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..tkg.quadruples import QuadrupleSet
+from ..tkg.quadruples import FACT_DTYPE, QuadrupleSet
+
+_EMPTY_COLUMN = np.empty(0, dtype=FACT_DTYPE)
+_EMPTY_COLUMN.setflags(write=False)
 
 
 class GlobalHistoryIndex:
@@ -38,10 +51,14 @@ class GlobalHistoryIndex:
     """
 
     def __init__(self, facts: QuadrupleSet):
-        # Facts live in an amortized-growth buffer so a serving engine can
-        # keep appending freshly ingested snapshots via :meth:`extend`.
-        self._buffer = np.array(facts.array, dtype=np.int64)  # sorted by time
-        self._size = len(self._buffer)
+        # The canonical QuadrupleSet order is time-major, so its column
+        # views can be adopted directly as the immutable base region.
+        arr = facts.array
+        self._base = (arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3])
+        self._base_size = len(arr)
+        # Streamed appends land in an amortized-growth row-major tail.
+        self._tail = np.empty((0, 4), dtype=FACT_DTYPE)
+        self._tail_size = 0
         self._cursor = 0           # rows [0, cursor) are "in the past"
         self.horizon = -1          # latest fully-included timestamp + 1
         # incremental structures
@@ -53,13 +70,96 @@ class GlobalHistoryIndex:
         """An index with no facts yet (serving engines fill it via extend)."""
         return cls(QuadrupleSet.empty())
 
-    @property
-    def _facts(self) -> np.ndarray:
-        return self._buffer[:self._size]
+    @classmethod
+    def from_columns(cls, subjects: np.ndarray, relations: np.ndarray,
+                     objects: np.ndarray, times: np.ndarray
+                     ) -> "GlobalHistoryIndex":
+        """Adopt four aligned, time-sorted fact columns without copying.
 
+        This is how a memory-mapped ``repro.data`` store file becomes an
+        index: the columns stay views into the backing file, so forked
+        evaluation workers and serving replicas share one physical copy
+        through the page cache.  Callers guarantee the time column is
+        sorted ascending; the columns are treated as immutable.
+        """
+        columns = (subjects, relations, objects, times)
+        if len({col.shape for col in columns}) != 1 or subjects.ndim != 1:
+            raise ValueError("expected four aligned 1-D fact columns, got "
+                             f"shapes {[col.shape for col in columns]}")
+        index = cls(QuadrupleSet.empty())
+        index._base = columns
+        index._base_size = len(subjects)
+        return index
+
+    # -- region-spanning primitives ------------------------------------
     @property
-    def _times(self) -> np.ndarray:
-        return self._buffer[:self._size, 3]
+    def _size(self) -> int:
+        return self._base_size + self._tail_size
+
+    def _search_time(self, t: int, side: str) -> int:
+        """``np.searchsorted`` over the (base + tail) time sequence."""
+        position = int(np.searchsorted(self._base[3][:self._base_size], t,
+                                       side=side))
+        if position < self._base_size:
+            return position
+        return self._base_size + int(np.searchsorted(
+            self._tail[:self._tail_size, 3], t, side=side))
+
+    def _columns_between(self, start: int, end: int
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The (s, r, o) columns of rows ``[start, end)``, concatenated."""
+        base_end = min(end, self._base_size)
+        parts_s, parts_r, parts_o = [], [], []
+        if start < base_end:
+            parts_s.append(self._base[0][start:base_end])
+            parts_r.append(self._base[1][start:base_end])
+            parts_o.append(self._base[2][start:base_end])
+        if end > self._base_size:
+            tail_start = max(start - self._base_size, 0)
+            chunk = self._tail[tail_start:end - self._base_size]
+            parts_s.append(chunk[:, 0])
+            parts_r.append(chunk[:, 1])
+            parts_o.append(chunk[:, 2])
+        if not parts_s:
+            return _EMPTY_COLUMN, _EMPTY_COLUMN, _EMPTY_COLUMN
+        if len(parts_s) == 1:
+            return parts_s[0], parts_r[0], parts_o[0]
+        return (np.concatenate(parts_s), np.concatenate(parts_r),
+                np.concatenate(parts_o))
+
+    def _rows_between(self, start: int, end: int) -> np.ndarray:
+        """Rows ``[start, end)`` as a read-only ``(k, 4)`` array."""
+        base_end = min(end, self._base_size)
+        parts = []
+        if start < base_end:
+            parts.append(np.stack(
+                [col[start:base_end] for col in self._base], axis=1))
+        if end > self._base_size:
+            tail_start = max(start - self._base_size, 0)
+            parts.append(self._tail[tail_start:end - self._base_size].copy())
+        if not parts:
+            rows = np.empty((0, 4), dtype=FACT_DTYPE)
+        elif len(parts) == 1:
+            rows = parts[0]
+        else:
+            rows = np.concatenate(parts, axis=0)
+        rows.setflags(write=False)
+        return rows
+
+    def _gather_triples(self, row_ids: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(src, rel, dst) for sorted global row ids spanning both regions."""
+        split = int(np.searchsorted(row_ids, self._base_size, side="left"))
+        base_ids, tail_ids = row_ids[:split], row_ids[split:] - self._base_size
+        if not len(tail_ids):
+            return (self._base[0][base_ids], self._base[1][base_ids],
+                    self._base[2][base_ids])
+        tail_rows = self._tail[tail_ids]
+        if not len(base_ids):
+            return tail_rows[:, 0], tail_rows[:, 1], tail_rows[:, 2]
+        return tuple(np.concatenate([self._base[col][base_ids],
+                                     tail_rows[:, col]])
+                     for col in range(3))
 
     def extend(self, facts: np.ndarray) -> None:
         """Append new facts ``(k, 4)`` in amortized O(k).
@@ -69,24 +169,32 @@ class GlobalHistoryIndex:
         :meth:`advance_to` keeps working with binary search.  Facts become
         visible to queries once ``advance_to`` moves past their timestamp.
         """
-        arr = np.asarray(facts, dtype=np.int64)
+        arr = np.asarray(facts, dtype=FACT_DTYPE)
         if arr.ndim != 2 or arr.shape[1] != 4:
             raise ValueError(f"expected (k, 4) fact array, got {arr.shape}")
         if len(arr) == 0:
             return
         arr = arr[np.argsort(arr[:, 3], kind="stable")]
-        if self._size and int(arr[0, 3]) < int(self._buffer[self._size - 1, 3]):
+        last = self._last_time()
+        if last is not None and int(arr[0, 3]) < last:
             raise ValueError(
                 f"cannot append facts at t={int(arr[0, 3])} before the "
-                f"latest stored timestamp {int(self._buffer[self._size - 1, 3])}")
-        needed = self._size + len(arr)
-        if needed > len(self._buffer):
-            grown = np.empty((max(needed, 2 * len(self._buffer), 1024), 4),
-                             dtype=np.int64)
-            grown[:self._size] = self._buffer[:self._size]
-            self._buffer = grown
-        self._buffer[self._size:needed] = arr
-        self._size = needed
+                f"latest stored timestamp {last}")
+        needed = self._tail_size + len(arr)
+        if needed > len(self._tail):
+            grown = np.empty((max(needed, 2 * len(self._tail), 1024), 4),
+                             dtype=FACT_DTYPE)
+            grown[:self._tail_size] = self._tail[:self._tail_size]
+            self._tail = grown
+        self._tail[self._tail_size:needed] = arr
+        self._tail_size = needed
+
+    def _last_time(self) -> Optional[int]:
+        if self._tail_size:
+            return int(self._tail[self._tail_size - 1, 3])
+        if self._base_size:
+            return int(self._base[3][self._base_size - 1])
+        return None
 
     def rewind(self) -> None:
         """Forget the advance state; keep the stored facts.
@@ -108,28 +216,35 @@ class GlobalHistoryIndex:
         if query_time < self.horizon:
             raise ValueError("index can only advance forward in time "
                              f"(horizon={self.horizon}, asked {query_time})")
-        end = int(np.searchsorted(self._times, query_time, side="left"))
-        for row in range(self._cursor, end):
-            s, r, o, _ = self._facts[row]
-            self._facts_of_entity[int(s)].append(row)
-            self._facts_of_entity[int(o)].append(row)
-            counts = self._answers[(int(s), int(r))]
-            counts[int(o)] = counts.get(int(o), 0) + 1
+        end = self._search_time(query_time, "left")
+        if end > self._cursor:
+            subs, rels, objs = self._columns_between(self._cursor, end)
+            facts_of_entity = self._facts_of_entity
+            answers = self._answers
+            row = self._cursor
+            # .tolist() up front: iterating python ints is several times
+            # faster than numpy scalar extraction on million-fact stores.
+            for s, r, o in zip(subs.tolist(), rels.tolist(), objs.tolist()):
+                facts_of_entity[s].append(row)
+                facts_of_entity[o].append(row)
+                counts = answers[(s, r)]
+                counts[o] = counts.get(o, 0) + 1
+                row += 1
         self._cursor = end
         self.horizon = query_time
 
     def facts_since(self, t: int) -> np.ndarray:
-        """Indexed facts with timestamp ``>= t``, as a read-only slice.
+        """Indexed facts with timestamp ``>= t``, as a read-only array.
 
         "Indexed" means facts already pulled in by :meth:`advance_to`
         (``time < horizon``) — the public way to walk recently revealed
         history incrementally (e.g. the recency heuristic) without
         touching the index's private buffers.  The returned ``(k, 4)``
-        array is a view; callers must not mutate it.
+        array is read-only and may be freshly assembled from the two
+        storage regions; callers must not mutate it.
         """
-        indexed = self._buffer[:self._cursor]
-        start = int(np.searchsorted(indexed[:, 3], t, side="left"))
-        return indexed[start:]
+        start = min(self._search_time(t, "left"), self._cursor)
+        return self._rows_between(start, self._cursor)
 
     def historical_answers(self, subject: int, relation: int) -> Set[int]:
         """Objects o with (subject, relation, o) observed before horizon."""
@@ -162,13 +277,15 @@ class GlobalHistoryIndex:
         for entity in seeds:
             row_ids.update(self._facts_of_entity.get(entity, ()))
         if not row_ids:
-            empty = np.empty(0, dtype=np.int64)
+            empty = np.empty(0, dtype=FACT_DTYPE)
             return empty, empty.copy(), empty.copy()
 
-        rows = self._facts[sorted(row_ids)][:, :3]
+        ids = np.fromiter(sorted(row_ids), dtype=np.int64, count=len(row_ids))
+        src, rel, dst = self._gather_triples(ids)
         if deduplicate:
-            rows = np.unique(rows, axis=0)
-        return rows[:, 0].copy(), rows[:, 1].copy(), rows[:, 2].copy()
+            rows = np.unique(np.stack([src, rel, dst], axis=1), axis=0)
+            return rows[:, 0].copy(), rows[:, 1].copy(), rows[:, 2].copy()
+        return src.copy(), rel.copy(), dst.copy()
 
     @property
     def num_indexed_facts(self) -> int:

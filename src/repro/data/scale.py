@@ -1,0 +1,224 @@
+"""GDELT-scale synthetic presets (millions of facts, vectorized).
+
+The laptop-scale presets in :mod:`repro.datasets.synthetic` emit facts
+one python append at a time — perfect for pattern fidelity, hopeless at
+GDELT size.  This module generates the *same pattern families* (Markov
+standing facts, drift rings, phased periodic tracks, sparse repeats,
+uniform noise) with array-at-a-time numpy, so a 7k-entity /
+million-fact dataset materializes in seconds.  It exists to exercise
+the out-of-core path: :func:`repro.data.write_store` /
+:func:`repro.data.open_store` at a size where per-process copies of the
+fact buffer actually hurt, and ``benchmarks/test_data_capacity.py``
+measures ingest throughput and bytes/fact against it.
+
+Scale datasets skip the bookkeeping that is O(facts) in python objects:
+no provenance map, no name vocabularies, no static side graph.  The
+pattern calibration (statically ambiguous, temporally resolvable) is
+inherited from the small generator — see its module docstring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..tkg.dataset import TKGDataset, chronological_split
+from ..tkg.quadruples import QuadrupleSet
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Knobs for the vectorized large-scale generator.
+
+    Defaults produce the ``gdelt_scale`` preset: GDELT-like shape (7k+
+    entities, 240 relations, one year of daily snapshots) with well over
+    a million facts after deduplication.
+    """
+
+    name: str = "gdelt_scale"
+    num_entities: int = 7200
+    num_relations: int = 240
+    num_timestamps: int = 366
+    # --- Markov standing facts (local repetition)
+    markov_tracks: int = 5000
+    markov_alternatives: int = 5
+    markov_fire_probability: float = 0.5
+    markov_switch_probability: float = 0.05
+    # --- drift rings (local evolution)
+    drift_tracks: int = 1500
+    drift_alternatives: int = 8
+    drift_fire_probability: float = 0.5
+    # --- phased periodic tracks (global cyclic)
+    periodic_tracks: int = 1200
+    periodic_alternatives: int = 3
+    periods: Tuple[int, ...] = (5, 7, 9, 12)
+    # --- sparse repeats (global repetition)
+    sparse_tracks: int = 900
+    sparse_gap: int = 18
+    sparse_gap_jitter: int = 4
+    # --- noise
+    noise_per_step: int = 800
+    seed: int = 11
+
+    def validate(self) -> None:
+        """Reject configurations the emitters cannot realize."""
+        if self.num_entities < self.markov_alternatives + 1:
+            raise ValueError("not enough entities for the contested pools")
+        if self.num_relations < 2:
+            raise ValueError("need at least 2 relations")
+        if self.num_timestamps < 10:
+            raise ValueError("need at least 10 timestamps for splits")
+        if self.sparse_gap <= self.sparse_gap_jitter:
+            raise ValueError("sparse_gap must exceed its jitter")
+        if not 0 < self.markov_fire_probability <= 1 \
+                or not 0 < self.drift_fire_probability <= 1:
+            raise ValueError("fire probabilities must be in (0, 1]")
+
+
+def _track_keys(config: ScaleConfig, count: int,
+                rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+    """``count`` random (subject, relation) track keys as two columns."""
+    return (rng.integers(0, config.num_entities, size=count),
+            rng.integers(0, config.num_relations, size=count))
+
+
+def _gather(subjects: np.ndarray, relations: np.ndarray,
+            objects: np.ndarray, fires: np.ndarray) -> np.ndarray:
+    """(n, 4) facts from per-track columns and a (tracks, T) fire mask.
+
+    ``objects`` is (tracks, T) — the would-be answer of every track at
+    every timestep; only positions where ``fires`` is set become facts.
+    """
+    track, time = np.nonzero(fires)
+    return np.stack([subjects[track], relations[track],
+                     objects[track, time], time], axis=1)
+
+
+def _emit_markov(config: ScaleConfig, rng: np.random.Generator) -> np.ndarray:
+    """Contested standing facts; the hidden active object persists
+    between switch events."""
+    m, t, a = (config.markov_tracks, config.num_timestamps,
+               config.markov_alternatives)
+    if not m:
+        return np.empty((0, 4), dtype=np.int64)
+    subjects, relations = _track_keys(config, m, rng)
+    alternatives = rng.integers(0, config.num_entities, size=(m, a))
+    switch = rng.random((m, t)) < config.markov_switch_probability
+    switch[:, 0] = True                      # initial draw
+    draws = rng.integers(0, a, size=(m, t))
+    # State at time j is the draw made at the last switch at or before j:
+    # running maximum over switch positions turns the sparse switch mask
+    # into a dense "last switch index" per cell, one vector op.
+    last_switch = np.maximum.accumulate(
+        np.where(switch, np.arange(t)[None, :], -1), axis=1)
+    active = np.take_along_axis(draws, last_switch, axis=1)
+    objects = np.take_along_axis(alternatives, active, axis=1)
+    fires = rng.random((m, t)) < config.markov_fire_probability
+    return _gather(subjects, relations, objects, fires)
+
+
+def _emit_drift(config: ScaleConfig, rng: np.random.Generator) -> np.ndarray:
+    """Drift rings; the answer advances one ring position per firing."""
+    d, t, ring_size = (config.drift_tracks, config.num_timestamps,
+                       config.drift_alternatives)
+    if not d:
+        return np.empty((0, 4), dtype=np.int64)
+    subjects, relations = _track_keys(config, d, rng)
+    ring = rng.integers(0, config.num_entities, size=(d, ring_size))
+    fires = rng.random((d, t)) < config.drift_fire_probability
+    # Ring position after each step = initial position + fires so far.
+    position = (rng.integers(0, ring_size, size=(d, 1))
+                + np.cumsum(fires, axis=1)) % ring_size
+    objects = np.take_along_axis(ring, position, axis=1)
+    return _gather(subjects, relations, objects, fires)
+
+
+def _emit_periodic(config: ScaleConfig,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Round-robin alternatives on a per-track period (loop over tracks,
+    vectorized over time — the track count is small)."""
+    chunks: List[np.ndarray] = []
+    subjects, relations = _track_keys(config, config.periodic_tracks, rng)
+    for i in range(config.periodic_tracks):
+        step = int(rng.choice(config.periods))
+        phase = int(rng.integers(0, step))
+        times = np.arange(phase, config.num_timestamps, step)
+        alternatives = rng.integers(0, config.num_entities,
+                                    size=config.periodic_alternatives)
+        which = ((times - phase) // step) % len(alternatives)
+        chunk = np.empty((len(times), 4), dtype=np.int64)
+        chunk[:, 0] = subjects[i]
+        chunk[:, 1] = relations[i]
+        chunk[:, 2] = alternatives[which]
+        chunk[:, 3] = times
+        chunks.append(chunk)
+    if not chunks:
+        return np.empty((0, 4), dtype=np.int64)
+    return np.concatenate(chunks, axis=0)
+
+
+def _emit_sparse(config: ScaleConfig, rng: np.random.Generator) -> np.ndarray:
+    """One fact recurring with long jittered gaps per track."""
+    chunks: List[np.ndarray] = []
+    subjects, relations = _track_keys(config, config.sparse_tracks, rng)
+    objects = rng.integers(0, config.num_entities, size=config.sparse_tracks)
+    max_fires = config.num_timestamps \
+        // max(config.sparse_gap - config.sparse_gap_jitter, 1) + 2
+    for i in range(config.sparse_tracks):
+        gaps = config.sparse_gap + rng.integers(
+            -config.sparse_gap_jitter, config.sparse_gap_jitter + 1,
+            size=max_fires)
+        times = int(rng.integers(0, config.sparse_gap)) + np.concatenate(
+            [[0], np.cumsum(gaps)])
+        times = times[times < config.num_timestamps]
+        chunk = np.empty((len(times), 4), dtype=np.int64)
+        chunk[:, 0] = subjects[i]
+        chunk[:, 1] = relations[i]
+        chunk[:, 2] = objects[i]
+        chunk[:, 3] = times
+        chunks.append(chunk)
+    if not chunks:
+        return np.empty((0, 4), dtype=np.int64)
+    return np.concatenate(chunks, axis=0)
+
+
+def _emit_noise(config: ScaleConfig, rng: np.random.Generator) -> np.ndarray:
+    """Uniform random facts, a fixed budget per timestep."""
+    n = config.noise_per_step * config.num_timestamps
+    if not n:
+        return np.empty((0, 4), dtype=np.int64)
+    return np.stack([
+        rng.integers(0, config.num_entities, size=n),
+        rng.integers(0, config.num_relations, size=n),
+        rng.integers(0, config.num_entities, size=n),
+        np.repeat(np.arange(config.num_timestamps), config.noise_per_step),
+    ], axis=1)
+
+
+def generate_scale(config: ScaleConfig) -> TKGDataset:
+    """Generate a large synthetic dataset with array-at-a-time numpy."""
+    config.validate()
+    rng = np.random.default_rng(config.seed)
+    facts = np.concatenate([
+        _emit_markov(config, rng),
+        _emit_drift(config, rng),
+        _emit_periodic(config, rng),
+        _emit_sparse(config, rng),
+        _emit_noise(config, rng),
+    ], axis=0)
+    quads = QuadrupleSet(facts).unique()
+    train, valid, test = chronological_split(quads)
+    return TKGDataset(
+        name=config.name,
+        train=train, valid=valid, test=test,
+        num_entities=config.num_entities,
+        num_relations=config.num_relations,
+        time_granularity="1 day (synthetic, GDELT-scale)")
+
+
+def gdelt_scale(seed: int = 11) -> TKGDataset:
+    """GDELT-scale preset: 7200 entities, 240 relations, 366 daily
+    snapshots, > 1M deduplicated facts."""
+    return generate_scale(ScaleConfig(seed=seed))

@@ -108,11 +108,23 @@ def tiny(seed: int = 7) -> TKGDataset:
         seed=seed))
 
 
+def gdelt_scale(seed: int = 11) -> TKGDataset:
+    """GDELT-scale preset (> 1M facts; see :mod:`repro.data.scale`).
+
+    Imported lazily — the vectorized generator lives in ``repro.data``
+    and takes seconds plus a few hundred MB, so listing presets must not
+    pay for it.
+    """
+    from ..data.scale import gdelt_scale as _generate
+    return _generate(seed=seed)
+
+
 PRESETS: Dict[str, Callable[..., TKGDataset]] = {
     "icews14_like": icews14_like,
     "icews18_like": icews18_like,
     "icews0515_like": icews0515_like,
     "gdelt_like": gdelt_like,
+    "gdelt_scale": gdelt_scale,
     "tiny": tiny,
 }
 

@@ -52,7 +52,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 import numpy as np
 
 from ..tkg.dataset import TKGDataset, chronological_split
-from ..tkg.quadruples import QuadrupleSet
+from ..tkg.quadruples import FACT_DTYPE, QuadrupleSet
 from ..tkg.vocabulary import Vocabulary
 
 
@@ -339,7 +339,7 @@ def generate(config: SyntheticConfig) -> TKGDataset:
         np.arange(config.num_entities),
         np.zeros(config.num_entities, dtype=np.int64),
         anchors[structure.community_of],
-    ], axis=1)
+    ], axis=1).astype(FACT_DTYPE)
 
     return TKGDataset(
         name=config.name,

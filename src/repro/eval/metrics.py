@@ -58,7 +58,22 @@ def softmax_topk(scores: np.ndarray, k: int) -> List[Tuple[int, float]]:
     total = exp.sum()
     probs = (exp / total if total > 0
              else np.full(len(scores), 1.0 / len(scores)))
-    top = np.argsort(-probs, kind="stable")[:k]
+    if k <= 0:
+        return []
+    if k >= len(probs):
+        top = np.argsort(-probs, kind="stable")
+    else:
+        # O(n + k log k) instead of a full O(n log n) sort: partition out
+        # k candidates, then reconstruct the exact stable-sort answer —
+        # everything strictly above the boundary value, plus boundary
+        # ties in ascending-id order (what a stable descending sort
+        # would have kept), ordered by (probability desc, id asc).
+        partitioned = np.argpartition(-probs, k - 1)[:k]
+        boundary = probs[partitioned].min()
+        above = np.flatnonzero(probs > boundary)
+        at_boundary = np.flatnonzero(probs == boundary)
+        chosen = np.concatenate([above, at_boundary[:k - len(above)]])
+        top = chosen[np.lexsort((chosen, -probs[chosen]))]
     return [(int(e), float(probs[e])) for e in top]
 
 

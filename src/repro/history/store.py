@@ -43,7 +43,7 @@ import numpy as np
 
 from ..core.subgraph import GlobalHistoryIndex
 from ..tkg.dataset import Snapshot, TKGDataset
-from ..tkg.quadruples import QuadrupleSet
+from ..tkg.quadruples import FACT_DTYPE, QuadrupleSet
 
 
 class HistoryStore:
@@ -62,6 +62,12 @@ class HistoryStore:
         self._snap_times: List[int] = sorted(snapshots)
         self._raw_chunks: List[np.ndarray] = []   # streaming mode only
         self._streaming = streaming
+        # Set by repro.data.storefile.open_store for memory-mapped
+        # stores: the absolute path of the backing file.  Forked
+        # evaluation workers re-open the same file instead of inheriting
+        # arrays, so all replicas share one physical copy via the OS
+        # page cache (None for purely in-memory stores).
+        self.backing_path: Optional[str] = None
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -112,7 +118,8 @@ class HistoryStore:
         self._snap_times.append(time)   # strictly increasing => sorted
         self.index.extend(augmented.array)
         if self._streaming:
-            self._raw_chunks.append(quads)
+            # Range-validated by the QuadrupleSet construction above.
+            self._raw_chunks.append(quads.astype(FACT_DTYPE))
         return augmented
 
     def rewind(self) -> None:
@@ -177,5 +184,5 @@ class HistoryStore:
         state (:meth:`repro.serving.InferenceEngine.serving_state`).
         """
         if not self._raw_chunks:
-            return np.empty((0, 4), dtype=np.int64)
+            return np.empty((0, 4), dtype=FACT_DTYPE)
         return np.concatenate(self._raw_chunks, axis=0)

@@ -17,10 +17,13 @@ arrow points from the protocols down into ``repro.parallel`` only when a
 ``workers`` request is actually made.
 """
 
-from .pool import ShardPool, fork_available, plan_shards, resolve_workers
+from .pool import (MIN_ITEMS_PER_SHARD, ShardPool, effective_workers,
+                   fork_available, plan_shards, resolve_workers)
 
 __all__ = [
+    "MIN_ITEMS_PER_SHARD",
     "ShardPool",
+    "effective_workers",
     "fork_available",
     "plan_shards",
     "resolve_workers",

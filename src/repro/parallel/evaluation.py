@@ -28,6 +28,7 @@ Determinism contract
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -35,7 +36,30 @@ import numpy as np
 from ..eval.metrics import ranks_of_targets
 from ..eval.ranking import batch_ranks_per_query, batch_ranks_vectorized
 from ..obs import NULL_TELEMETRY, Telemetry
-from .pool import ShardPool, plan_shards
+from .pool import ShardPool, effective_workers, plan_shards
+
+# Per-worker-process cache of re-opened store files, keyed by path.  A
+# forked worker adopting a memory-mapped store re-opens the backing file
+# once and reuses the mapping for every shard it runs.
+_WORKER_STORES: Dict[str, object] = {}
+
+
+def _adopt_worker_store(context, path: str) -> None:
+    """Point a worker's inherited context at a re-opened mapped store.
+
+    Workers get the *path* of a memory-mapped history store instead of
+    relying on copy-on-write inheritance of the parent's arrays: every
+    worker's ``np.memmap`` of the same file shares one physical copy
+    through the OS page cache, and the worker-private index/cache
+    structures start empty instead of duplicating the parent's.
+    """
+    store = _WORKER_STORES.get(path)
+    if store is None:
+        from ..data.storefile import open_store
+        store = open_store(path)
+        _WORKER_STORES[path] = store
+    if context.store is not store:
+        context.adopt_store(store)
 
 
 def _run_eval_shard(state: Dict, payload: Tuple[int, int]
@@ -51,6 +75,12 @@ def _run_eval_shard(state: Dict, payload: Tuple[int, int]
     telemetry = Telemetry("shard")
     model = state["model"]
     context = state["context"]
+    if (state.get("store_path") is not None
+            and os.getpid() != state["parent_pid"]):
+        # Forked worker + file-backed store: re-open by path.  The pid
+        # check keeps the serial fallback (same process) reading the
+        # caller's own context untouched.
+        _adopt_worker_store(context, state["store_path"])
     context.bind_telemetry(telemetry)
     rank_batch = (batch_ranks_vectorized if state["batched"]
                   else batch_ranks_per_query)
@@ -86,12 +116,21 @@ def sharded_ranks(model, batches: Sequence, time_filter, static_filter,
     if not batches:
         return []
     context = batches[0].context
+    # Too few queries and forking costs more than it buys: degrade the
+    # worker count (possibly to the serial path) before planning shards.
+    workers = effective_workers(workers,
+                                sum(len(batch) for batch in batches))
     noise_key = (model.draw_noise_seed()
                  if getattr(model, "input_noise_std", 0.0) > 0.0 else None)
     state = {
         "model": model, "context": context, "batches": list(batches),
         "time_filter": time_filter, "static_filter": static_filter,
         "batched": batched, "noise_key": noise_key,
+        # Mapped stores hand workers the backing-file path (plus the
+        # parent pid so the serial fallback can tell it never forked).
+        "store_path": getattr(getattr(context, "store", None),
+                              "backing_path", None),
+        "parent_pid": os.getpid(),
     }
     shards = plan_shards(len(batches), workers)
     with ShardPool(workers, shared=state) as pool:
@@ -143,6 +182,8 @@ class OnlineShardRunner:
     def __init__(self, model, batches: Sequence, time_filter,
                  batched: bool, workers: int):
         self._batches = list(batches)
+        workers = effective_workers(workers,
+                                    sum(len(b) for b in self._batches))
         self._index_of = {id(batch): i for i, batch in enumerate(self._batches)}
         state = {
             "model": model, "batches": self._batches,
@@ -208,6 +249,7 @@ def sharded_filtered_ranks(scores: np.ndarray, subjects: np.ndarray,
         "targets": targets, "time": int(time), "filter": time_filter,
         "filtered": bool(filtered),
     }
+    workers = effective_workers(workers, len(targets))
     shards = plan_shards(len(targets), workers)
     with ShardPool(workers, shared=state) as pool:
         blocks = pool.map(_run_rank_shard, shards)

@@ -65,6 +65,36 @@ def resolve_workers(workers: int) -> int:
     return workers if fork_available() else 1
 
 
+# Minimum work items (facts/queries) a forked shard must amortize: below
+# this, fork + result-pickling overhead dominates the shard's own compute
+# and the sharded pass is slower than the serial walk it replicates.
+MIN_ITEMS_PER_SHARD = 64
+
+
+def effective_workers(workers: int, total_items: int,
+                      floor: Optional[int] = None) -> int:
+    """Degrade a worker request so every worker gets a meaningful shard.
+
+    ``total_items`` is the protocol's own unit of work (queries for
+    evaluation, rows for ranking).  With fewer than two floors' worth of
+    items the request collapses to the serial path; otherwise it is
+    capped so no worker's share drops below the floor.  ``floor=None``
+    reads :data:`MIN_ITEMS_PER_SHARD` at call time (tests lower it to
+    keep forking on tiny datasets).
+    """
+    workers = resolve_workers(workers)
+    if workers <= 1:
+        return 1
+    if floor is None:
+        floor = MIN_ITEMS_PER_SHARD
+    if floor <= 0:
+        return workers
+    capacity = total_items // floor
+    if capacity < 2:
+        return 1
+    return min(workers, capacity)
+
+
 def plan_shards(num_items: int, workers: int,
                 oversubscribe: int = 2) -> List[Tuple[int, int]]:
     """Split ``range(num_items)`` into contiguous ``(start, end)`` shards.

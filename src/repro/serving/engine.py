@@ -106,6 +106,9 @@ class InferenceEngine:
         self.cache = ContextCache(telemetry=self.stats,
                                   context_capacity=context_cache_size)
         self._score_cache = LRUCache(score_cache_size)
+        # Absolute path of the mapped backing file once use_store_file
+        # adopted one (None for purely streamed engines).
+        self.store_path: Optional[str] = None
 
     @property
     def _context_cache(self) -> LRUCache:
@@ -138,6 +141,47 @@ class InferenceEngine:
             self.advance(arr[:, :3], time=int(t))
             total += len(arr)
         return total
+
+    def use_store_file(self, path: str, build_filter: bool = True) -> int:
+        """Adopt a memory-mapped ``repro.data`` store file as the history.
+
+        Replaces whatever was ingested so far: the engine's history
+        becomes a zero-copy view of the backing file
+        (:func:`repro.data.open_store`), so N replicas serving the same
+        file share one physical fact buffer through the page cache.
+        Later :meth:`advance` calls append normally — the deltas live in
+        memory and are recorded, so :meth:`serving_state` stays
+        replayable as (backing path + delta facts).
+
+        ``build_filter`` also loads the mapped facts into the time-aware
+        filter (needed for ``filtered`` predictions; python-loop
+        construction, O(facts) — skip it for raw-score serving of
+        million-fact stores).  Returns the number of augmented facts
+        mapped.
+        """
+        # Lazy import: repro.serving must not require repro.data unless
+        # a backing file is actually used (and repro.data imports the
+        # history layer, not the other way around).
+        from ..data.storefile import map_columns, open_store
+        store = open_store(path, record_raw=True)
+        if store.num_relations != self.num_relations:
+            raise ValueError(
+                f"store file holds {store.num_relations} relations, "
+                f"engine expects {self.num_relations}")
+        self.history = store
+        self.last_time = store.last_time
+        self.filter = TimeAwareFilter([])
+        info, arrays = map_columns(path)
+        if build_filter:
+            self.filter.add_facts(np.stack(
+                [arrays["s"], arrays["r"], arrays["o"], arrays["t"]],
+                axis=1))
+        self.cache.clear()
+        self._score_cache.clear()
+        self.store_path = store.backing_path
+        self.stats.incr("facts_ingested", info.num_facts)
+        self.stats.incr("snapshots_ingested", info.num_snapshots)
+        return info.num_facts
 
     # -- ingestion ------------------------------------------------------
     def advance(self, facts: np.ndarray, time: Optional[int] = None) -> int:
@@ -334,14 +378,23 @@ class InferenceEngine:
 
     # -- persistence ----------------------------------------------------
     def serving_state(self) -> Dict[str, np.ndarray]:
-        """The engine's replayable history state as plain arrays."""
-        return {
+        """The engine's replayable history state as plain arrays.
+
+        For an engine backed by a store file (:meth:`use_store_file`)
+        the state is the backing path plus only the facts streamed in
+        *after* adoption — the mapped facts stay in the file and are
+        never duplicated into the snapshot.
+        """
+        state = {
             "facts": self.history.raw_facts(),
             "meta": np.array([self.num_entities, self.num_relations,
                               self.window,
                               -1 if self.last_time is None else self.last_time],
                              dtype=np.int64),
         }
+        if self.store_path is not None:
+            state["store_path"] = np.array(self.store_path)
+        return state
 
     def restore_state(self, state: Dict[str, np.ndarray]) -> None:
         """Rebuild ingestion state from :meth:`serving_state` output."""
@@ -357,6 +410,11 @@ class InferenceEngine:
         self.filter = TimeAwareFilter([])
         self.cache.clear()
         self._score_cache.clear()
+        self.store_path = None
+        if "store_path" in state:
+            # Re-adopt the backing file, then replay only the delta the
+            # saved engine streamed on top of it.
+            self.use_store_file(str(np.asarray(state["store_path"]).item()))
         facts = np.asarray(state["facts"], dtype=np.int64)
         if len(facts):
             replay = QuadrupleSet(facts)

@@ -59,18 +59,47 @@ class HistoryContext:
         LRU bound of the per-batch subgraph cache — the same bound the
         serving engine enforces (the cache was unbounded here once; long
         multi-split evaluations grew memory without limit).
+    store:
+        Optional prebuilt :class:`repro.history.HistoryStore` to adopt
+        instead of building one from the dataset — the out-of-core path:
+        ``HistoryContext(ds, window, store=repro.data.open_store(path))``
+        evaluates against the memory-mapped backing file.  The adopted
+        store must hold the same augmented history the default
+        construction would build (``extra_facts`` is rejected alongside
+        it — bake extras into the store at write time).
     """
 
     def __init__(self, dataset: TKGDataset, window: int,
                  extra_facts: Optional[QuadrupleSet] = None,
                  telemetry: Telemetry = NULL_TELEMETRY,
-                 subgraph_cache_size: int = DEFAULT_SUBGRAPH_CAPACITY):
+                 subgraph_cache_size: int = DEFAULT_SUBGRAPH_CAPACITY,
+                 store: Optional[HistoryStore] = None):
         self.dataset = dataset
         self.window = window
-        self.store = HistoryStore.from_dataset(dataset,
-                                               extra_facts=extra_facts)
+        if store is not None:
+            if extra_facts is not None and len(extra_facts):
+                raise ValueError(
+                    "pass either extra_facts or a prebuilt store, not both "
+                    "(write the extras into the store file instead)")
+            self.store = store
+        else:
+            self.store = HistoryStore.from_dataset(dataset,
+                                                   extra_facts=extra_facts)
         self.cache = ContextCache(telemetry=telemetry,
                                   subgraph_capacity=subgraph_cache_size)
+        self.reset()
+
+    def adopt_store(self, store: HistoryStore) -> None:
+        """Swap in a different backing store (fork-worker mmap handoff).
+
+        Sharded evaluation workers call this with a freshly re-opened
+        memory-mapped store so every worker reads the backing file
+        through the shared page cache instead of a copy-on-write
+        inheritance of the parent's arrays.  The caches are dropped —
+        cached subgraphs hold row views into the old store's buffers.
+        """
+        self.store = store
+        self.cache.subgraphs.clear()
         self.reset()
 
     def bind_telemetry(self, telemetry: Telemetry) -> None:

@@ -1,0 +1,102 @@
+"""The int32 fact-dtype contract, end to end.
+
+Every fact array a consumer can reach — quadruple sets, snapshots, the
+global index's outputs, mapped store columns — is ``FACT_DTYPE``
+(int32), and out-of-range values are rejected at the QuadrupleSet
+boundary instead of silently wrapping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import map_columns, open_store, write_store
+from repro.datasets import load_preset, tiny
+from repro.history import HistoryStore
+from repro.tkg.quadruples import FACT_DTYPE, QuadrupleSet
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny()
+
+
+class TestQuadrupleDtype:
+    def test_fact_dtype_is_int32(self):
+        assert np.dtype(FACT_DTYPE) == np.int32
+
+    def test_arrays_are_narrowed(self):
+        quads = QuadrupleSet(np.array([[0, 1, 2, 3]], dtype=np.int64))
+        assert quads.array.dtype == FACT_DTYPE
+
+    def test_out_of_range_values_rejected(self):
+        too_big = np.iinfo(np.int32).max + 1
+        with pytest.raises(ValueError, match="must fit int32"):
+            QuadrupleSet(np.array([[0, 1, 2, too_big]]))
+        too_small = np.iinfo(np.int32).min - 1
+        with pytest.raises(ValueError, match="must fit int32"):
+            QuadrupleSet(np.array([[0, 1, too_small, 0]]))
+
+    def test_empty_and_from_quads_dtype(self):
+        assert QuadrupleSet.empty().array.dtype == FACT_DTYPE
+        assert QuadrupleSet.from_quads([(0, 1, 2, 3)]).array.dtype == FACT_DTYPE
+
+    def test_derived_sets_keep_dtype(self, dataset):
+        quads = dataset.train
+        assert quads.array.dtype == FACT_DTYPE
+        assert quads.with_inverses(dataset.num_relations).array.dtype \
+            == FACT_DTYPE
+        assert quads.concat(dataset.valid).array.dtype == FACT_DTYPE
+        assert quads.unique().array.dtype == FACT_DTYPE
+
+
+class TestHistoryDtype:
+    def test_dataset_store_facts_are_int32(self, dataset):
+        store = HistoryStore.from_dataset(dataset)
+        for t in store.snapshot_times():
+            for snap in store.window_before(t + 1, 1):
+                assert snap.src.dtype == FACT_DTYPE
+                assert snap.rel.dtype == FACT_DTYPE
+                assert snap.dst.dtype == FACT_DTYPE
+        arr = dataset.test.array
+        src, rel, dst = store.subgraph(int(arr[0, 3]), arr[:, 0], arr[:, 1])
+        assert src.dtype == FACT_DTYPE
+        assert rel.dtype == FACT_DTYPE
+        assert dst.dtype == FACT_DTYPE
+
+    def test_streaming_store_facts_are_int32(self):
+        store = HistoryStore.streaming(num_relations=4)
+        store.extend(np.array([[0, 1, 2], [3, 0, 1]]), time=0)
+        store.extend(np.array([[1, 2, 0]]), time=1)
+        assert store.raw_facts().dtype == FACT_DTYPE
+        snap = store.window_before(2, 1)[0]
+        assert snap.src.dtype == FACT_DTYPE
+        index = store.index_at(2)
+        assert index.facts_since(0).dtype == FACT_DTYPE
+
+    def test_synthetic_static_facts_are_int32(self, dataset):
+        assert dataset.static_facts.dtype == FACT_DTYPE
+
+
+class TestStoreFileDtype:
+    def test_mapped_columns_and_views(self, dataset, tmp_path):
+        path = str(tmp_path / "tiny.hst")
+        write_store(path, dataset)
+        _info, arrays = map_columns(path)
+        for name in ("s", "r", "o", "t"):
+            assert arrays[name].dtype == FACT_DTYPE
+        store = open_store(path)
+        snap = store.window_before(store.snapshot_times()[0] + 1, 1)[0]
+        assert snap.src.dtype == FACT_DTYPE
+
+    def test_scale_preset_facts_are_int32(self):
+        # list-registered preset; generation itself is covered in the
+        # capacity benchmark — here a small config checks the contract.
+        from repro.data.scale import ScaleConfig, generate_scale
+        small = generate_scale(ScaleConfig(
+            name="small_scale", num_entities=300, num_relations=12,
+            num_timestamps=30, markov_tracks=40, drift_tracks=20,
+            periodic_tracks=10, sparse_tracks=10, noise_per_step=20))
+        assert small.train.array.dtype == FACT_DTYPE
+        assert small.num_entities == 300
+        total = sum(len(split) for split in small.splits().values())
+        assert total > 1000

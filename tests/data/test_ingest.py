@@ -1,0 +1,199 @@
+"""Ingestion edge cases: the messy shapes real benchmark dumps arrive in."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import (IngestSpec, convert_directory, export_dataset,
+                        ingest_directory, read_quadruple_table)
+from repro.datasets import tiny
+
+
+def write_dump(directory, train, valid, test, stat=None, newline="\n"):
+    os.makedirs(directory, exist_ok=True)
+    for split, rows in (("train", train), ("valid", valid), ("test", test)):
+        with open(os.path.join(directory, f"{split}.txt"), "w",
+                  newline="") as handle:
+            handle.write(newline.join(rows) + newline)
+    if stat is not None:
+        with open(os.path.join(directory, "stat.txt"), "w") as handle:
+            handle.write(stat)
+
+
+class TestParser:
+    def test_crlf_line_endings(self, tmp_path):
+        path = tmp_path / "train.txt"
+        path.write_bytes(b"0\t1\t2\t0\r\n3\t1\t4\t1\r\n")
+        rows = read_quadruple_table(str(path))
+        assert rows == [("0", "1", "2", "0"), ("3", "1", "4", "1")]
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "train.txt"
+        path.write_text("# header comment\n0\t1\t2\t0\n\n   \n3\t1\t4\t1\n")
+        assert len(read_quadruple_table(str(path))) == 2
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "train.txt"
+        path.write_text("0\t1\t2\t0\t-1\n")
+        assert read_quadruple_table(str(path)) == [("0", "1", "2", "0")]
+
+    def test_tabbed_names_with_spaces_survive(self, tmp_path):
+        path = tmp_path / "train.txt"
+        path.write_text("Barack Obama\tmeets with\tAngela Merkel\t3\n")
+        assert read_quadruple_table(str(path)) == [
+            ("Barack Obama", "meets with", "Angela Merkel", "3")]
+
+    def test_whitespace_split_without_tabs(self, tmp_path):
+        path = tmp_path / "train.txt"
+        path.write_text("0 1 2 0\n")
+        assert read_quadruple_table(str(path)) == [("0", "1", "2", "0")]
+
+    def test_short_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "train.txt"
+        path.write_text("0\t1\t2\t0\n0\t1\n")
+        with pytest.raises(ValueError, match="train.txt:2"):
+            read_quadruple_table(str(path))
+
+
+class TestIngestDirectory:
+    def test_missing_split_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="train.txt"):
+            ingest_directory(str(tmp_path))
+
+    def test_gapped_unsorted_timestamps_bucket_contiguously(self, tmp_path):
+        # Timestamps 100/5/40 are gapped and arrive out of order; snapshot
+        # indices must come out dense (0, 1, 2) and keep time order.
+        write_dump(str(tmp_path),
+                   train=["0\t0\t1\t40", "1\t0\t2\t5", "2\t1\t3\t5"],
+                   valid=["0\t0\t2\t100"], test=["1\t1\t3\t200"])
+        report = ingest_directory(str(tmp_path))
+        dataset = report.dataset
+        assert dataset.train.times.tolist() == [0, 0, 1]
+        assert dataset.valid.times.tolist() == [2]
+        assert dataset.test.times.tolist() == [3]
+        assert report.time_values.tolist() == [5, 40, 100, 200]
+
+    def test_non_contiguous_raw_ids_remapped_in_sorted_order(self, tmp_path):
+        write_dump(str(tmp_path),
+                   train=["10\t7\t500\t0", "500\t7\t10\t1"],
+                   valid=["10\t7\t500\t2"], test=["500\t7\t10\t3"])
+        report = ingest_directory(str(tmp_path))
+        assert report.entities_remapped and report.relations_remapped
+        assert report.dataset.num_entities == 2
+        assert report.dataset.num_relations == 1
+        # sorted numeric order: 10 -> 0, 500 -> 1
+        assert report.entity_map.names() == ("10", "500")
+        assert report.dataset.train.array[:, :3].tolist() == [[0, 0, 1],
+                                                              [1, 0, 0]]
+
+    def test_dense_ids_kept_verbatim_under_auto(self, tmp_path):
+        write_dump(str(tmp_path),
+                   train=["0\t0\t1\t0", "1\t1\t2\t1"],
+                   valid=["2\t0\t0\t2"], test=["1\t1\t0\t3"])
+        report = ingest_directory(str(tmp_path))
+        assert not report.entities_remapped
+        assert not report.relations_remapped
+        assert report.entity_map is None
+
+    def test_always_mode_remaps_even_dense_ids(self, tmp_path):
+        write_dump(str(tmp_path),
+                   train=["0\t0\t1\t0"], valid=["1\t0\t0\t1"],
+                   test=["0\t0\t1\t2"])
+        report = ingest_directory(str(tmp_path),
+                                  IngestSpec(remap_ids="always"))
+        assert report.entities_remapped
+        assert report.entity_map.names() == ("0", "1")
+
+    def test_never_mode_rejects_string_columns(self, tmp_path):
+        write_dump(str(tmp_path),
+                   train=["alice\tknows\tbob\t0"], valid=["bob\tknows\talice\t1"],
+                   test=["alice\tknows\tbob\t2"])
+        with pytest.raises(ValueError, match="remap_ids='never'"):
+            ingest_directory(str(tmp_path), IngestSpec(remap_ids="never"))
+
+    def test_string_vocab_first_appearance_order(self, tmp_path):
+        write_dump(str(tmp_path),
+                   train=["carol\tknows\tbob\t0", "bob\tknows\talice\t1"],
+                   valid=["alice\tknows\tcarol\t2"],
+                   test=["bob\tknows\tcarol\t3"])
+        report = ingest_directory(str(tmp_path))
+        assert report.entity_map.names() == ("carol", "bob", "alice")
+        assert report.relation_map.names() == ("knows",)
+
+    def test_duplicate_quadruples_collapse(self, tmp_path):
+        write_dump(str(tmp_path),
+                   train=["0\t0\t1\t0", "0\t0\t1\t0", "0\t0\t1\t0"],
+                   valid=["1\t0\t0\t1"], test=["0\t0\t1\t2"])
+        report = ingest_directory(str(tmp_path))
+        assert len(report.dataset.train) == 1
+        assert report.dropped_duplicates == 2
+        assert report.facts_read == 5
+
+    def test_stat_file_counts_respected_for_verbatim_ids(self, tmp_path):
+        write_dump(str(tmp_path),
+                   train=["0\t0\t1\t0"], valid=["1\t0\t0\t1"],
+                   test=["0\t0\t1\t2"], stat="50\t7\n")
+        report = ingest_directory(str(tmp_path))
+        assert report.dataset.num_entities == 50
+        assert report.dataset.num_relations == 7
+
+    def test_non_integer_timestamps_rejected(self, tmp_path):
+        write_dump(str(tmp_path),
+                   train=["0\t0\t1\t2014-01-01"], valid=["1\t0\t0\t2014-01-02"],
+                   test=["0\t0\t1\t2014-01-03"])
+        with pytest.raises(ValueError, match="non-integer timestamps"):
+            ingest_directory(str(tmp_path))
+
+    def test_granularity_buckets_and_boundary_guard(self, tmp_path):
+        write_dump(str(tmp_path),
+                   train=["0\t0\t1\t0", "1\t0\t0\t11"],
+                   valid=["0\t0\t1\t20"], test=["1\t0\t0\t30"])
+        report = ingest_directory(str(tmp_path),
+                                  IngestSpec(time_granularity=10))
+        assert report.dataset.train.times.tolist() == [0, 1]
+        assert report.dataset.valid.times.tolist() == [2]
+        with pytest.raises(ValueError, match="time_granularity=25"):
+            ingest_directory(str(tmp_path), IngestSpec(time_granularity=25))
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="time_granularity"):
+            IngestSpec(time_granularity=0)
+        with pytest.raises(ValueError, match="remap_ids"):
+            IngestSpec(remap_ids="sometimes")
+
+
+class TestExportAndConvert:
+    def test_integer_export_ingest_is_identity(self, tmp_path):
+        dataset = tiny()
+        export_dataset(dataset, str(tmp_path))
+        report = ingest_directory(str(tmp_path), IngestSpec(name="tiny"))
+        for split, quads in dataset.splits().items():
+            assert np.array_equal(report.dataset.splits()[split].array,
+                                  quads.array)
+        assert report.dataset.num_entities == dataset.num_entities
+        assert report.dataset.num_relations == dataset.num_relations
+
+    def test_named_export_round_trips_through_string_path(self, tmp_path):
+        dataset = tiny()
+        export_dataset(dataset, str(tmp_path), named=True)
+        report = ingest_directory(str(tmp_path))
+        assert report.entities_remapped and report.relations_remapped
+        for split, quads in dataset.splits().items():
+            assert len(report.dataset.splits()[split]) == len(quads)
+
+    def test_convert_writes_canonical_directory_and_maps(self, tmp_path):
+        dataset = tiny()
+        raw, out = tmp_path / "raw", tmp_path / "out"
+        export_dataset(dataset, str(raw), named=True)
+        convert_directory(str(raw), str(out))
+        files = set(os.listdir(out))
+        assert {"train.txt", "valid.txt", "test.txt", "stat.txt",
+                "entity2id.txt", "relation2id.txt"} <= files
+        with open(out / "stat.txt") as handle:
+            counts = handle.read().split()
+        assert int(counts[0]) == dataset.num_entities
+        assert int(counts[1]) == dataset.num_relations
+        # the converted directory is itself canonically re-ingestable
+        report = ingest_directory(str(out))
+        assert not report.entities_remapped

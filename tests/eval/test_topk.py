@@ -1,0 +1,68 @@
+"""softmax_topk: the argpartition fast path must match a stable full sort."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import softmax_topk
+
+
+def reference_topk(scores, k):
+    """The pre-optimization implementation: full stable argsort."""
+    scores = np.asarray(scores)
+    finite = np.isfinite(scores)
+    shift = scores[finite].max() if finite.any() else 0.0
+    exp = np.exp(np.where(finite, scores - shift, -np.inf))
+    total = exp.sum()
+    probs = (exp / total if total > 0
+             else np.full(len(scores), 1.0 / len(scores)))
+    top = np.argsort(-probs, kind="stable")[:k]
+    return [(int(e), float(probs[e])) for e in top]
+
+
+class TestStableTieParity:
+    @pytest.mark.parametrize("seed", range(20))
+    @pytest.mark.parametrize("k", (1, 3, 10, 50))
+    def test_random_scores_match_reference(self, seed, k):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=200)
+        assert softmax_topk(scores, k) == reference_topk(scores, k)
+
+    @pytest.mark.parametrize("seed", range(20))
+    @pytest.mark.parametrize("k", (1, 5, 17, 64))
+    def test_heavy_ties_match_reference(self, seed, k):
+        # Quantized scores force many exact ties, including ties that
+        # straddle the top-k boundary — the case where a naive
+        # argpartition diverges from the stable sort.
+        rng = np.random.default_rng(100 + seed)
+        scores = rng.integers(0, 5, size=120).astype(float)
+        assert softmax_topk(scores, k) == reference_topk(scores, k)
+
+    def test_all_tied(self):
+        scores = np.zeros(30)
+        assert softmax_topk(scores, 7) == reference_topk(scores, 7)
+        # stable order: lowest entity ids first
+        assert [e for e, _ in softmax_topk(scores, 7)] == list(range(7))
+
+    def test_filtered_minus_inf_scores(self):
+        scores = np.array([1.0, -np.inf, 2.0, -np.inf, 2.0, 0.5])
+        result = softmax_topk(scores, 4)
+        assert result == reference_topk(scores, 4)
+        assert [e for e, _ in result] == [2, 4, 0, 5]
+
+    def test_all_minus_inf_uniform_fallback(self):
+        scores = np.full(10, -np.inf)
+        result = softmax_topk(scores, 3)
+        assert result == reference_topk(scores, 3)
+        assert all(abs(p - 0.1) < 1e-12 for _, p in result)
+
+    def test_k_edge_cases(self):
+        scores = np.array([3.0, 1.0, 2.0])
+        assert softmax_topk(scores, 0) == []
+        assert [e for e, _ in softmax_topk(scores, 3)] == [0, 2, 1]
+        assert [e for e, _ in softmax_topk(scores, 99)] == [0, 2, 1]
+
+    def test_probabilities_sum_to_one(self):
+        rng = np.random.default_rng(7)
+        scores = rng.normal(size=50)
+        probs = [p for _, p in softmax_topk(scores, 50)]
+        assert abs(sum(probs) - 1.0) < 1e-9

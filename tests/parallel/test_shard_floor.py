@@ -1,0 +1,81 @@
+"""The minimum-facts-per-shard floor: small workloads stay serial."""
+
+import numpy as np
+import pytest
+
+import repro.parallel.pool as pool
+from repro.datasets import tiny
+from repro.eval.heuristics import FrequencyHeuristic
+from repro.eval.protocol import evaluate
+from repro.parallel import MIN_ITEMS_PER_SHARD, effective_workers
+
+
+class TestEffectiveWorkers:
+    def test_serial_requests_stay_serial(self):
+        assert effective_workers(1, 10 ** 9) == 1
+
+    def test_large_workload_keeps_request(self):
+        assert effective_workers(4, 10 ** 6) == 4
+
+    def test_small_workload_collapses_to_serial(self):
+        assert effective_workers(4, MIN_ITEMS_PER_SHARD - 1) == 1
+        assert effective_workers(8, 2 * MIN_ITEMS_PER_SHARD - 1) == 1
+
+    def test_medium_workload_degrades_gradually(self):
+        # 3 floors' worth of items: cap at 3 workers, not 8.
+        assert effective_workers(8, 3 * MIN_ITEMS_PER_SHARD) == 3
+
+    def test_explicit_floor_overrides_module_constant(self):
+        assert effective_workers(4, 10, floor=5) == 2
+        assert effective_workers(4, 10, floor=0) == 4
+
+    def test_floor_resolved_at_call_time(self, monkeypatch):
+        monkeypatch.setattr(pool, "MIN_ITEMS_PER_SHARD", 1)
+        assert pool.effective_workers(4, 8) == 4
+        monkeypatch.setattr(pool, "MIN_ITEMS_PER_SHARD", 100)
+        assert pool.effective_workers(4, 8) == 1
+
+    def test_invalid_request_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            effective_workers(0, 100)
+
+
+class TestSerialFallbackParity:
+    def test_tiny_below_floor_still_matches_serial(self, monkeypatch):
+        # Raise the floor beyond tiny's query count: the workers=4 path
+        # must silently run serially and reproduce the serial row.
+        monkeypatch.setattr(pool, "MIN_ITEMS_PER_SHARD", 10 ** 6)
+        dataset = tiny()
+        model = FrequencyHeuristic(dataset.num_entities)
+        serial = evaluate(model, dataset, "test", workers=1)
+        fallback = evaluate(model, dataset, "test", workers=4)
+        assert fallback == serial
+
+    def test_no_fork_happens_below_floor(self, monkeypatch):
+        monkeypatch.setattr(pool, "MIN_ITEMS_PER_SHARD", 10 ** 6)
+        forks = []
+        original = pool.ShardPool.__init__
+
+        def spy(self, workers, shared=None):
+            forks.append(workers)
+            original(self, workers, shared)
+
+        monkeypatch.setattr(pool.ShardPool, "__init__", spy)
+        dataset = tiny()
+        model = FrequencyHeuristic(dataset.num_entities)
+        evaluate(model, dataset, "test", workers=4)
+        assert forks and all(w == 1 for w in forks)
+
+    def test_serving_rank_floor(self, monkeypatch):
+        monkeypatch.setattr(pool, "MIN_ITEMS_PER_SHARD", 10 ** 6)
+        from repro.parallel.evaluation import sharded_filtered_ranks
+        from repro.tkg.filtering import TimeAwareFilter
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(9, 20))
+        subjects = rng.integers(0, 20, size=9)
+        relations = rng.integers(0, 4, size=9)
+        targets = rng.integers(0, 20, size=9)
+        ranks = sharded_filtered_ranks(scores, subjects, relations, targets,
+                                       5, TimeAwareFilter([]), True, 4)
+        from repro.eval.metrics import ranks_of_targets
+        assert np.array_equal(ranks, ranks_of_targets(scores, targets))

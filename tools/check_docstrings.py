@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Docstring-presence lint for the shared runtime layers.
 
-The history, parallel and serving layers are the repository's shared
-infrastructure — other layers program against their surfaces, so every
+The data, history, parallel and serving layers are the repository's
+shared infrastructure — other layers program against their surfaces, so every
 *public* module, class, function and method there must say what it
 does.  This checker walks the AST (no imports, so it runs anywhere)
 and fails listing each undocumented public definition.
@@ -25,8 +25,8 @@ from typing import List
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-CHECKED_PACKAGES = ("src/repro/history", "src/repro/parallel",
-                    "src/repro/serving")
+CHECKED_PACKAGES = ("src/repro/data", "src/repro/history",
+                    "src/repro/parallel", "src/repro/serving")
 
 
 def _is_public(name: str) -> bool:

@@ -162,6 +162,7 @@ BOOTSTRAPS: Dict[str, Callable[[], Dict[str, object]]] = {
     "README.md": _readme_fixture,
     "serving.md": _serving_fixture,
     "data_format.md": _benchmark_directory_fixture,
+    "data.md": _dataset_fixture,
     "history.md": _dataset_fixture,
     "parallel.md": _dataset_fixture,
 }
