@@ -1,9 +1,9 @@
 # Convenience targets for the LogCL reproduction.
 
-.PHONY: install test test-fast bench bench-table3 serve-bench eval-bench \
-	history-bench train-telemetry-bench parallel-bench data-bench \
-	trace-demo experiments clean-cache docs-test lint lint-private \
-	lint-docstrings
+.PHONY: install test test-fast bench bench-table3 serve-bench \
+	serve-daemon-bench eval-bench history-bench train-telemetry-bench \
+	parallel-bench data-bench trace-demo experiments clean-cache \
+	docs-test lint lint-private lint-docstrings
 
 install:
 	pip install -e .
@@ -22,6 +22,9 @@ bench-table3:
 
 serve-bench:  ## serving latency: cached incremental inference vs cold recompute
 	pytest benchmarks/test_serving_latency.py --benchmark-only -s
+
+serve-daemon-bench:  ## daemon under 8 open-loop clients: QPS, p50/p99, shedding
+	pytest benchmarks/test_serving_daemon.py --benchmark-only -s
 
 eval-bench:  ## filtered-ranking throughput: batched kernel vs per-query path
 	pytest benchmarks/test_eval_throughput.py --benchmark-only -s
@@ -91,4 +94,13 @@ lint-private:  ## no reaching into GlobalHistoryIndex internals from outside
 		|| { echo 'raw np.memmap constructed outside'\
 		' repro/data/storefile.py (use repro.data.open_store /'\
 		' map_columns so headers are validated)'; \
+		exit 1; }
+	@! grep -rnE '\._engine\b' \
+		src tests benchmarks examples \
+		--include='*.py' \
+		| grep -v 'src/repro/serving/daemon.py' \
+		| grep -v 'self\._engine' \
+		|| { echo 'daemon-owned engine accessed outside its serialized'\
+		' executor (pass a callable to EngineExecutor.run so every'\
+		' engine touch stays on the single worker thread)'; \
 		exit 1; }

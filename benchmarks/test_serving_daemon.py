@@ -1,0 +1,250 @@
+"""Serving daemon under many-client load — sustained QPS and tail latency.
+
+An open-loop load generator (each client sends on its own schedule, it
+never waits for the previous reply before the next send, so queueing
+delay shows up in the measured latency instead of throttling the
+arrival process) drives the daemon with ``NUM_CLIENTS`` concurrent
+connections mixing ``predict`` and ``rank`` requests.  Three claims are
+asserted, matching the acceptance bar for the daemon:
+
+* every response is **bitwise identical** to what the serial engine
+  returns for the same request (the daemon coalesces *requests*, never
+  rewrites a request's batch composition);
+* the daemon sustains >= ``NUM_CLIENTS`` concurrent clients with
+  recorded sustained QPS and p50/p99 latency;
+* past the admission-control depth a saturating burst is *shed* with
+  structured overload errors — every request is answered, nothing hangs.
+
+Results land in ``benchmarks/results/serving_daemon.json`` plus a
+rendered table (picked up by ``aggregate_results.py``).
+"""
+
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+
+from _harness import (BENCH_WINDOW, RESULTS_DIR, emit, get_trained_model,
+                      logcl_overrides, write_result_table)
+from repro.serving import DaemonConfig, InferenceEngine, protocol, \
+    serve_in_thread
+
+DATASET = "icews14_like"
+NUM_CLIENTS = 8
+REQUESTS_PER_CLIENT = 50
+SEND_INTERVAL_S = 0.02       # 50 req/s per client, 400 req/s offered
+BURST_REQUESTS = 200         # overload phase, fired with no pacing
+
+
+def _build_engine(model, dataset):
+    engine = InferenceEngine(model, dataset.num_entities,
+                             dataset.num_relations, window=BENCH_WINDOW)
+    engine.preload(dataset, splits=("train", "valid"))
+    return engine
+
+
+def _request_mix(dataset, t, client, count):
+    """One client's request schedule: 4 predicts then 1 rank, cycling."""
+    facts = dataset.test.array[dataset.test.array[:, 3] == t]
+    requests = []
+    for i in range(count):
+        row = facts[(client * count + i) % len(facts)]
+        rid = f"c{client}-{i}"
+        if i % 5 == 4:
+            rows = facts[np.arange(i, i + 3) % len(facts)]
+            requests.append({"op": "rank", "id": rid, "time": int(t),
+                             "queries": rows[:, :3].tolist()})
+        else:
+            requests.append({"op": "predict", "id": rid, "time": int(t),
+                             "queries": [[int(row[0]), int(row[1])]],
+                             "topk": 10})
+    return requests
+
+
+class _OpenLoopClient(threading.Thread):
+    """Paced sender + correlating reader over one daemon connection.
+
+    Latency for request ``i`` is measured from its *scheduled* send
+    time, so server-side queueing during a stall is charged to the
+    response instead of silently stretching the arrival process.
+    """
+
+    def __init__(self, address, requests, interval_s):
+        super().__init__()
+        self.address = address
+        self.requests = requests
+        self.interval_s = interval_s
+        self.latencies_ms = {}
+        self.responses = {}
+        self.error = None
+
+    def run(self):
+        try:
+            sock = socket.create_connection(self.address, timeout=60)
+            reader = sock.makefile("r", encoding="utf-8")
+            scheduled = {}
+            received = {}
+
+            def read_all():
+                for _ in range(len(self.requests)):
+                    line = reader.readline()
+                    if not line:
+                        return
+                    response = json.loads(line)
+                    received[response["id"]] = (response,
+                                                time.perf_counter())
+
+            reader_thread = threading.Thread(target=read_all)
+            reader_thread.start()
+            start = time.perf_counter()
+            for i, request in enumerate(self.requests):
+                target = start + i * self.interval_s
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                scheduled[request["id"]] = target
+                sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+            reader_thread.join(120)
+            reader.close()
+            sock.close()
+            for rid, (response, recv_t) in received.items():
+                self.responses[rid] = response
+                self.latencies_ms[rid] = (recv_t - scheduled[rid]) * 1000.0
+        except Exception as exc:  # surfaced by the main thread
+            self.error = exc
+
+
+def _load_phase(handle, serial, dataset, t):
+    """NUM_CLIENTS open-loop clients; returns (record, parity_checked)."""
+    clients = [
+        _OpenLoopClient(handle.address,
+                        _request_mix(dataset, t, c, REQUESTS_PER_CLIENT),
+                        SEND_INTERVAL_S)
+        for c in range(NUM_CLIENTS)]
+    wall_start = time.perf_counter()
+    for client in clients:
+        client.start()
+    for client in clients:
+        client.join(180)
+    wall_s = time.perf_counter() - wall_start
+    for client in clients:
+        assert client.error is None, f"client failed: {client.error}"
+
+    latencies, parity_checked = [], 0
+    expected_cache = {}
+    for client in clients:
+        assert len(client.responses) == REQUESTS_PER_CLIENT, \
+            "client lost responses"
+        for request in client.requests:
+            response = client.responses[request["id"]]
+            assert response["ok"], response
+            # Bitwise parity: the serial engine must produce the exact
+            # same payload for the same request (ids differ per client,
+            # so compare with the id stripped via a canonical key).
+            key = json.dumps({k: v for k, v in request.items()
+                              if k != "id"}, sort_keys=True)
+            if key not in expected_cache:
+                serial_request = dict(json.loads(key))
+                expected_cache[key] = protocol.handle_request(
+                    serial, serial_request)
+            expected = dict(expected_cache[key])
+            got = {k: v for k, v in response.items() if k != "id"}
+            assert got == expected, f"daemon != serial for {request}"
+            parity_checked += 1
+            latencies.append(client.latencies_ms[request["id"]])
+
+    latencies = np.array(latencies)
+    total = NUM_CLIENTS * REQUESTS_PER_CLIENT
+    return {
+        "clients": NUM_CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "offered_qps": round(1.0 / SEND_INTERVAL_S * NUM_CLIENTS, 1),
+        "sustained_qps": round(total / wall_s, 1),
+        "p50_ms": round(float(np.percentile(latencies, 50)), 3),
+        "p99_ms": round(float(np.percentile(latencies, 99)), 3),
+        "max_ms": round(float(latencies.max()), 3),
+        "parity_checked": parity_checked,
+    }, parity_checked
+
+
+def _overload_phase(engine, dataset, t):
+    """Saturating burst against a tiny admission queue; count sheds."""
+    handle = serve_in_thread(engine, DaemonConfig(
+        max_queue=4, batch_max_pending=4, batch_window_ms=0.5))
+    try:
+        sock = socket.create_connection(handle.address, timeout=60)
+        reader = sock.makefile("r", encoding="utf-8")
+        facts = dataset.test.array[dataset.test.array[:, 3] == t]
+        payload = b"".join(
+            (json.dumps({"op": "predict", "id": i, "time": int(t),
+                         "queries": [[int(facts[i % len(facts)][0]),
+                                      int(facts[i % len(facts)][1])]],
+                         "topk": 5}) + "\n").encode("utf-8")
+            for i in range(BURST_REQUESTS))
+        sock.sendall(payload)
+        responses = [json.loads(reader.readline())
+                     for _ in range(BURST_REQUESTS)]
+        reader.close()
+        sock.close()
+    finally:
+        handle.stop()
+    shed = [r for r in responses if r.get("shed")]
+    served = [r for r in responses if r["ok"]]
+    assert len(responses) == BURST_REQUESTS, "overload hung requests"
+    assert shed, "saturating burst shed nothing past the queue depth"
+    assert all(r["error"] == "overloaded" for r in shed)
+    assert served, "overload must not shed the entire burst"
+    return {
+        "burst_requests": BURST_REQUESTS,
+        "burst_max_queue": 4,
+        "shed": len(shed),
+        "served_under_overload": len(served),
+    }
+
+
+def test_serving_daemon(benchmark):
+    model, dataset, _ = get_trained_model(
+        "logcl", DATASET, model_overrides=logcl_overrides())
+    served_engine = _build_engine(model, dataset)
+    serial = _build_engine(model, dataset)
+    t = serial.next_time
+
+    handle = serve_in_thread(served_engine, DaemonConfig(
+        max_queue=64, batch_max_pending=8, batch_window_ms=2.0))
+    try:
+        record, parity_checked = benchmark.pedantic(
+            _load_phase, args=(handle, serial, dataset, t),
+            rounds=1, iterations=1)
+        daemon_counters = dict(handle.daemon.stats.counters)
+    finally:
+        handle.stop()
+    record["dataset"] = DATASET
+    record["predict_groups"] = int(daemon_counters.get("predict_groups", 0))
+    record["load_phase_shed"] = int(daemon_counters.get("requests_shed", 0))
+
+    record.update(_overload_phase(served_engine, dataset, t))
+
+    lines = [
+        f"## Serving daemon — {record['clients']} open-loop clients on "
+        f"{record['dataset']} (t={int(t)})",
+        f"{'metric':28s}{'value':>12s}",
+        f"{'offered load':28s}{record['offered_qps']:>8.1f} q/s",
+        f"{'sustained throughput':28s}{record['sustained_qps']:>8.1f} q/s",
+        f"{'p50 latency':28s}{record['p50_ms']:>9.2f} ms",
+        f"{'p99 latency':28s}{record['p99_ms']:>9.2f} ms",
+        f"{'responses parity-checked':28s}{record['parity_checked']:>12d}",
+        f"{'burst shed / served':28s}"
+        f"{record['shed']:>6d} / {record['served_under_overload']}",
+    ]
+    emit(lines)
+    write_result_table("serving_daemon", lines)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    with open(RESULTS_DIR / "serving_daemon.json", "w") as handle_:
+        json.dump(record, handle_, indent=2)
+
+    assert record["clients"] >= 8
+    assert parity_checked == NUM_CLIENTS * REQUESTS_PER_CLIENT
+    assert record["sustained_qps"] > 0
+    assert record["p99_ms"] >= record["p50_ms"] > 0

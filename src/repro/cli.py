@@ -150,54 +150,15 @@ def _cmd_online(args: argparse.Namespace) -> int:
 
 
 def _serve_handle(engine, request: dict) -> dict:
-    """Dispatch one JSONL serving request; returns the response payload."""
-    import numpy as np
+    """Dispatch one JSONL serving request; returns the response payload.
 
-    from .training import save_engine_state
+    Thin alias over :func:`repro.serving.protocol.handle_request` — the
+    stdin loop and the socket daemon share one dispatch (batched predict
+    forward, int32 fact-contract validation, ``id`` echo).
+    """
+    from .serving import protocol
 
-    op = request.get("op")
-    if op == "advance":
-        facts = np.asarray(request["facts"], dtype=np.int64)
-        count = engine.advance(facts, time=request.get("time"))
-        return {"ok": True, "op": op, "time": engine.last_time,
-                "facts_ingested": count}
-    if op == "predict":
-        queries = np.asarray(request["queries"], dtype=np.int64)
-        if queries.ndim != 2 or queries.shape[1] != 2:
-            raise ValueError("queries must be [[subject, relation], ...]")
-        time = request.get("time")
-        k = int(request.get("topk", 10))
-        filtered = bool(request.get("filtered", False))
-        results = [engine.predict_topk(int(s), int(r), k=k, time=time,
-                                       filtered=filtered)
-                   for s, r in queries]
-        return {"ok": True, "op": op,
-                "time": engine.next_time if time is None else int(time),
-                "results": [[[e, round(p, 6)] for e, p in row]
-                            for row in results]}
-    if op == "rank":
-        queries = np.asarray(request["queries"], dtype=np.int64)
-        if queries.ndim != 2 or queries.shape[1] != 3:
-            raise ValueError("queries must be [[subject, relation, object], "
-                             "...]")
-        time = request.get("time")
-        filtered = bool(request.get("filtered", True))
-        workers = int(request.get("workers", 1))
-        ranks = engine.rank_queries(queries[:, 0], queries[:, 1],
-                                    queries[:, 2], time=time,
-                                    filtered=filtered, workers=workers)
-        return {"ok": True, "op": op,
-                "time": engine.next_time if time is None else int(time),
-                "filtered": filtered,
-                "ranks": [round(float(r), 6) for r in ranks]}
-    if op == "stats":
-        return {"ok": True, "op": op, "stats": engine.stats.as_dict()}
-    if op == "save":
-        save_engine_state(engine, request["path"],
-                          metadata=request.get("metadata"))
-        return {"ok": True, "op": op, "path": request["path"]}
-    raise ValueError(f"unknown op {op!r}; valid: advance, predict, rank, "
-                     "stats, save")
+    return protocol.handle_request(engine, request)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -212,10 +173,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         {"op": "stats"}
         {"op": "save", "path": "engine_state.npz"}
 
-    The loop ends at EOF (or an ``{"op": "quit"}`` line) and prints the
-    serving-stats summary to stderr, keeping stdout pure JSONL.
+    With ``--listen host:port`` the loop is replaced by the persistent
+    socket daemon (:mod:`repro.serving.daemon`): many concurrent TCP
+    clients, the same JSONL schema, admission control past
+    ``--max-queue``, windowed cross-client micro-batching
+    (``--batch-window-ms`` / ``--batch-pending``), and — with
+    ``--snapshot`` — graceful-shutdown snapshotting restored on the
+    next start (delta-replay for store-file-backed engines).
+
+    The stdin loop ends at EOF (or an ``{"op": "quit"}`` line) and
+    prints the serving-stats summary to stderr, keeping stdout pure
+    JSONL.
     """
-    from .serving import InferenceEngine
+    from .serving import InferenceEngine, protocol
 
     dataset = _load_dataset(args.dataset)
     engine = InferenceEngine.from_checkpoint(
@@ -229,18 +199,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                           "facts_ingested": count,
                           "time": engine.last_time}), flush=True)
 
+    if args.listen is not None:
+        from .serving.daemon import DaemonConfig, run_daemon
+
+        host, _, port = args.listen.rpartition(":")
+        return run_daemon(engine, DaemonConfig(
+            host=host or "127.0.0.1", port=int(port),
+            max_queue=args.max_queue,
+            batch_max_pending=args.batch_pending,
+            batch_window_ms=args.batch_window_ms,
+            snapshot_path=args.snapshot,
+            fuse_queries=args.fuse_queries))
+
     stream = args.requests_from or sys.stdin
     for line in stream:
         line = line.strip()
         if not line:
             continue
+        request = None
         try:
-            request = json.loads(line)
+            request = protocol.decode_line(line)
             if request.get("op") == "quit":
                 break
             response = _serve_handle(engine, request)
         except Exception as exc:  # serve loops must not die on bad input
-            response = {"ok": False, "error": str(exc)}
+            response = protocol.error_response(exc, request)
         print(json.dumps(response), flush=True)
 
     for stats_line in engine.stats.summary_lines():
@@ -381,6 +364,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--preload", default="train",
                          choices=("none", "train", "valid", "all"),
                          help="history to ingest before serving")
+    p_serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                         help="serve as a persistent TCP daemon instead of "
+                              "the stdin loop (port 0 picks a free port)")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="daemon admission-control depth; requests "
+                              "past this are shed as overloaded")
+    p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                         help="daemon micro-batch coalescing window")
+    p_serve.add_argument("--batch-pending", type=int, default=16,
+                         help="daemon micro-batch size trigger (queries)")
+    p_serve.add_argument("--snapshot", default=None, metavar="PATH",
+                         help="engine-state snapshot written on graceful "
+                              "daemon shutdown and restored on start")
+    p_serve.add_argument("--fuse-queries", action="store_true",
+                         help="fuse concurrent single-query predicts into "
+                              "one forward (batch-insensitive models only)")
     p_serve.set_defaults(func=_cmd_serve, requests_from=None)
 
     p_stats = sub.add_parser("stats", help="dataset statistics")

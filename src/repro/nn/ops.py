@@ -39,7 +39,9 @@ def _scatter_matrix(idx: np.ndarray, num_segments: int):
     if _SCATTER_CACHE is None:
         from collections import OrderedDict
         _SCATTER_CACHE = OrderedDict()
-    key = (idx.tobytes(), num_segments)
+    # dtype + length belong in the key: raw bytes alone collide across
+    # widths (int64 [0] and int32 [0, 0] serialize identically).
+    key = (idx.dtype.str, len(idx), idx.tobytes(), num_segments)
     cached = _SCATTER_CACHE.get(key)
     if cached is not None:
         _SCATTER_CACHE.move_to_end(key)

@@ -4,15 +4,25 @@ The inference half of the training/inference stack: load a trained
 checkpoint, stream snapshots in with :meth:`InferenceEngine.advance`,
 answer ``(s, r, t, ?)`` queries with :meth:`InferenceEngine.predict`
 (or coalesced through :class:`MicroBatcher`), observe latency and cache
-behaviour through :class:`ServingStats`.  See ``docs/serving.md``.
+behaviour through :class:`ServingStats`.  For a long-lived service
+surface, :mod:`repro.serving.daemon` runs the engine behind an asyncio
+JSONL-over-TCP server with admission control, windowed cross-client
+micro-batching and snapshot/restore; the request schema lives in
+:mod:`repro.serving.protocol`.  See ``docs/serving.md``.
 """
 
-from .batcher import MicroBatcher, PendingQuery
-from .engine import InferenceEngine, ServingBatch
+from . import protocol
+from .batcher import MicroBatcher, PendingBatch, PendingQuery
+from .daemon import (DaemonConfig, DaemonHandle, EngineExecutor,
+                     ServingDaemon, run_daemon, serve_in_thread)
+from .engine import InferenceEngine, ServingBatch, filtered_topk_rows
 from .stats import ServingStats, StageStats
 
 __all__ = [
-    "InferenceEngine", "ServingBatch",
-    "MicroBatcher", "PendingQuery",
+    "InferenceEngine", "ServingBatch", "filtered_topk_rows",
+    "MicroBatcher", "PendingQuery", "PendingBatch",
     "ServingStats", "StageStats",
+    "ServingDaemon", "DaemonConfig", "DaemonHandle", "EngineExecutor",
+    "serve_in_thread", "run_daemon",
+    "protocol",
 ]

@@ -1,46 +1,122 @@
 """Micro-batching front-end for the inference engine.
 
-Individual queries submitted between flushes are coalesced into one
-engine forward per timestamp — the same timestamp-batched shape as
-``ExtrapolationModel.predict_on``.  Queries are forwarded exactly as
-submitted (order preserved, duplicates kept): LogCL's query-aware
-attention key pools the relation context over the batch, so the batch
-composition is part of the model's semantics and must not be silently
-rewritten.
+Work submitted between flushes is coalesced into engine forwards — the
+same timestamp-batched shape as ``ExtrapolationModel.predict_on``.  Two
+kinds of ticket exist:
+
+* :meth:`MicroBatcher.submit` queues one ``(s, r, t, ?)`` query; all
+  single queries at one timestamp are **fused into one forward**.
+  Queries are forwarded exactly as submitted (order preserved,
+  duplicates kept): LogCL's query-aware attention pools the relation
+  context over the batch, so the batch composition is part of the
+  model's semantics and must not be silently rewritten.
+* :meth:`MicroBatcher.submit_batch` queues a whole aligned query batch
+  as **one forward of its own** — the unit the serving daemon coalesces
+  across clients, because a client's request batch is a composition the
+  model must see verbatim (never merged with another client's).
+
+Flushing is size- *and* time-windowed: submitting the ``max_pending``-th
+query auto-flushes, and :meth:`MicroBatcher.due` reports when the oldest
+pending ticket has waited ``max_wait_ms`` so a driver (the daemon's
+consumer loop) can flush on whichever trigger fires first.
+
+A flush never drops a ticket: if the engine raises for one timestamp
+group, that group's tickets resolve with the error recorded on them and
+the remaining groups still run.
 """
 
 from __future__ import annotations
 
+import time as _time
 from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..eval.metrics import softmax_topk
-from .engine import InferenceEngine
+from .engine import InferenceEngine, filtered_topk_rows
 
 
 class PendingQuery:
-    """Ticket for one submitted query; resolved on flush."""
+    """Ticket for one submitted query; resolved on flush.
 
-    __slots__ = ("subject", "relation", "time", "scores")
+    Resolution is either ``scores`` (the query's score row) or
+    ``error`` (the exception the engine raised for its flush group);
+    :attr:`done` covers both, and :meth:`topk` re-raises a recorded
+    error so a failed query can never masquerade as an unserved one.
+    """
+
+    __slots__ = ("subject", "relation", "time", "scores", "error",
+                 "submitted_s")
 
     def __init__(self, subject: int, relation: int, time: int):
         self.subject = subject
         self.relation = relation
         self.time = time
         self.scores: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+        self.submitted_s = _time.monotonic()
 
     @property
     def done(self) -> bool:
-        """Whether a flush has resolved this ticket."""
-        return self.scores is not None
+        """Whether a flush has resolved this ticket (scores or error)."""
+        return self.scores is not None or self.error is not None
 
     def topk(self, k: int = 10) -> List[Tuple[int, float]]:
         """Top-k ``(entity, probability)`` once the ticket is resolved."""
+        if self.error is not None:
+            raise RuntimeError(
+                f"query failed during flush: {self.error}") from self.error
         if self.scores is None:
             raise RuntimeError("query not flushed yet")
-        return softmax_topk(self.scores, k)
+        return filtered_topk_rows(self.scores, np.array([self.subject]),
+                                  np.array([self.relation]), self.time,
+                                  k)[0]
+
+
+class PendingBatch:
+    """Ticket for one aligned query batch served as a single forward.
+
+    Unlike fused :class:`PendingQuery` singles, a batch ticket's rows
+    are never merged with other pending work — the submitted batch *is*
+    the forward batch, preserving the batch-composition semantics of
+    models like LogCL.
+    """
+
+    __slots__ = ("subjects", "relations", "time", "scores", "error",
+                 "submitted_s")
+
+    def __init__(self, subjects: np.ndarray, relations: np.ndarray,
+                 time: int):
+        self.subjects = np.ascontiguousarray(subjects, dtype=np.int64)
+        self.relations = np.ascontiguousarray(relations, dtype=np.int64)
+        if self.subjects.shape != self.relations.shape \
+                or self.subjects.ndim != 1:
+            raise ValueError("subjects/relations must be aligned 1-D arrays")
+        self.time = time
+        self.scores: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+        self.submitted_s = _time.monotonic()
+
+    def __len__(self) -> int:
+        return len(self.subjects)
+
+    @property
+    def done(self) -> bool:
+        """Whether a flush has resolved this ticket (scores or error)."""
+        return self.scores is not None or self.error is not None
+
+    def topk(self, k: int = 10) -> List[List[Tuple[int, float]]]:
+        """Per-row top-k lists once the ticket is resolved."""
+        if self.error is not None:
+            raise RuntimeError(
+                f"batch failed during flush: {self.error}") from self.error
+        if self.scores is None:
+            raise RuntimeError("batch not flushed yet")
+        return filtered_topk_rows(self.scores, self.subjects,
+                                  self.relations, self.time, k)
+
+
+Ticket = Union[PendingQuery, PendingBatch]
 
 
 class MicroBatcher:
@@ -51,17 +127,27 @@ class MicroBatcher:
     engine:
         The :class:`InferenceEngine` to answer through.
     max_pending:
-        Auto-flush threshold: submitting the ``max_pending``-th query
-        triggers a flush (0 disables auto-flush; call :meth:`flush`).
+        Size trigger: submitting the ``max_pending``-th query
+        auto-flushes (0 disables auto-flush; call :meth:`flush`).
+    max_wait_ms:
+        Time window: :meth:`due` turns true once the oldest pending
+        ticket has waited this long, so a driver polling ``due()`` (or
+        scheduling a timer from :meth:`oldest_wait_ms`) flushes on
+        size *or* age, whichever first.  ``None`` disables the window
+        (pure size-triggered batching, the pre-daemon behaviour).
     """
 
-    def __init__(self, engine: InferenceEngine, max_pending: int = 64):
+    def __init__(self, engine: InferenceEngine, max_pending: int = 64,
+                 max_wait_ms: Optional[float] = None):
         self.engine = engine
         self.max_pending = max_pending
-        self._pending: List[PendingQuery] = []
+        self.max_wait_ms = max_wait_ms
+        self._pending: List[Ticket] = []
 
     def __len__(self) -> int:
-        return len(self._pending)
+        """Number of pending *queries* (batch tickets count their rows)."""
+        return sum(len(t) if isinstance(t, PendingBatch) else 1
+                   for t in self._pending)
 
     def submit(self, subject: int, relation: int,
                time: Optional[int] = None) -> PendingQuery:
@@ -69,29 +155,87 @@ class MicroBatcher:
         resolved = self.engine.next_time if time is None else int(time)
         ticket = PendingQuery(int(subject), int(relation), resolved)
         self._pending.append(ticket)
-        if self.max_pending and len(self._pending) >= self.max_pending:
-            self.flush()
+        self._maybe_auto_flush()
         return ticket
 
-    def flush(self) -> List[PendingQuery]:
-        """Answer all pending queries, one engine forward per timestamp.
+    def submit_batch(self, subjects: Sequence[int],
+                     relations: Sequence[int],
+                     time: Optional[int] = None) -> PendingBatch:
+        """Queue an aligned query batch as one dedicated forward."""
+        resolved = self.engine.next_time if time is None else int(time)
+        ticket = PendingBatch(np.asarray(subjects), np.asarray(relations),
+                              resolved)
+        self._pending.append(ticket)
+        self._maybe_auto_flush()
+        return ticket
 
-        Timestamps are served in ascending order to respect the engine's
-        monotonic history index.  Returns the resolved tickets.
+    def _maybe_auto_flush(self) -> None:
+        if self.max_pending and len(self) >= self.max_pending:
+            self.flush()
+
+    def oldest_wait_ms(self, now: Optional[float] = None) -> float:
+        """Milliseconds the oldest pending ticket has waited (0 if none)."""
+        if not self._pending:
+            return 0.0
+        now = _time.monotonic() if now is None else now
+        return (now - self._pending[0].submitted_s) * 1000.0
+
+    def due(self, now: Optional[float] = None) -> bool:
+        """Whether a flush trigger has fired (size or time window)."""
+        if not self._pending:
+            return False
+        if self.max_pending and len(self) >= self.max_pending:
+            return True
+        return (self.max_wait_ms is not None
+                and self.oldest_wait_ms(now) >= self.max_wait_ms)
+
+    def flush(self) -> List[Ticket]:
+        """Answer all pending tickets, grouped into engine forwards.
+
+        Fused single queries become one forward per timestamp; each
+        batch ticket is its own forward.  Timestamps are served in
+        ascending order to respect the engine's monotonic history
+        index.  Every popped ticket is resolved before this returns:
+        a group whose forward raises gets the exception recorded on its
+        tickets (``microbatch_errors`` counter) and the remaining
+        groups still run — no ticket is ever silently dropped.
+        Returns the flushed tickets.
         """
         if not self._pending:
             return []
         flushed, self._pending = self._pending, []
-        by_time: Dict[int, List[PendingQuery]] = defaultdict(list)
-        for ticket in flushed:
-            by_time[ticket.time].append(ticket)
-        for time in sorted(by_time):
-            tickets = by_time[time]
-            subjects = np.array([t.subject for t in tickets], dtype=np.int64)
-            relations = np.array([t.relation for t in tickets], dtype=np.int64)
-            scores = self.engine.predict(subjects, relations, time=time)
-            for row, ticket in enumerate(tickets):
-                ticket.scores = scores[row]
+        # Group into forwards: (time, first-submission order) per group.
+        singles: Dict[int, List[PendingQuery]] = defaultdict(list)
+        groups: List[Tuple[int, int, List[Ticket]]] = []
+        for position, ticket in enumerate(flushed):
+            if isinstance(ticket, PendingBatch):
+                groups.append((ticket.time, position, [ticket]))
+            else:
+                if not singles[ticket.time]:
+                    groups.append((ticket.time, position,
+                                   singles[ticket.time]))
+                singles[ticket.time].append(ticket)
+        for time, _, tickets in sorted(groups, key=lambda g: (g[0], g[1])):
+            if isinstance(tickets[0], PendingBatch):
+                batch = tickets[0]
+                subjects, relations = batch.subjects, batch.relations
+            else:
+                subjects = np.array([t.subject for t in tickets],
+                                    dtype=np.int64)
+                relations = np.array([t.relation for t in tickets],
+                                     dtype=np.int64)
+            try:
+                scores = self.engine.predict(subjects, relations, time=time)
+            except Exception as exc:
+                for ticket in tickets:
+                    ticket.error = exc
+                self.engine.stats.incr("microbatch_errors")
+                continue
+            if isinstance(tickets[0], PendingBatch):
+                tickets[0].scores = scores
+            else:
+                for row, ticket in enumerate(tickets):
+                    ticket.scores = scores[row]
             self.engine.stats.incr("microbatch_flushes")
-            self.engine.stats.incr("microbatched_queries", len(tickets))
+            self.engine.stats.incr("microbatched_queries", len(subjects))
         return flushed

@@ -59,6 +59,35 @@ STAGES = ("ingest", "local_state", "subgraph", "forward", "rank")
 ServingBatch = TimestepBatch
 
 
+def filtered_topk_rows(scores: np.ndarray, subjects: np.ndarray,
+                       relations: np.ndarray, query_time: int, k: int,
+                       time_filter=None) -> List[List[Tuple[int, float]]]:
+    """Per-row top-k ``(entity, probability)`` lists for batched scores.
+
+    The one shared :func:`repro.eval.metrics.softmax_topk` pass behind
+    every serving top-k front-end (:meth:`InferenceEngine.predict_topk`,
+    :meth:`InferenceEngine.predict_topk_batch`, the protocol's batched
+    ``predict`` op and the micro-batcher tickets), so all of them agree
+    exactly on probabilities and tie order.  With ``time_filter`` set
+    (a :class:`repro.tkg.filtering.TimeAwareFilter`), entities already
+    observed as answers of ``(subject, relation)`` at ``query_time`` are
+    struck to ``-inf`` per row before ranking; rows without known
+    answers are ranked in place without a copy.
+    """
+    scores = np.atleast_2d(np.asarray(scores))
+    rows: List[List[Tuple[int, float]]] = []
+    for i in range(scores.shape[0]):
+        row = scores[i]
+        if time_filter is not None:
+            known = time_filter.true_objects(int(subjects[i]),
+                                             int(relations[i]), query_time)
+            if known:
+                row = row.copy()
+                row[list(known)] = -np.inf
+        rows.append(softmax_topk(row, k))
+    return rows
+
+
 class InferenceEngine:
     """Serves one trained model over an incrementally ingested history.
 
@@ -322,14 +351,34 @@ class InferenceEngine:
         """
         query_time = self.next_time if time is None else int(time)
         scores = self.predict(np.array([subject]), np.array([relation]),
-                              time=query_time)[0]
-        if filtered:
-            known = self.filter.true_objects(int(subject), int(relation),
-                                             query_time)
-            if known:
-                scores = scores.copy()
-                scores[list(known)] = -np.inf
-        return softmax_topk(scores, k)
+                              time=query_time)
+        return filtered_topk_rows(scores, np.array([subject]),
+                                  np.array([relation]), query_time, k,
+                                  self.filter if filtered else None)[0]
+
+    def predict_topk_batch(self, subjects: np.ndarray,
+                           relations: np.ndarray, k: int = 10,
+                           time: Optional[int] = None,
+                           filtered: bool = False
+                           ) -> List[List[Tuple[int, float]]]:
+        """Top-k answers for an aligned query batch via **one** forward.
+
+        The batched counterpart of :meth:`predict_topk`: one
+        :meth:`predict` call scores the whole batch, then one shared
+        :func:`repro.eval.metrics.softmax_topk` pass ranks each row
+        (with per-row time-aware filtering when ``filtered``).  The
+        request batch is the forward batch — the same composition
+        contract as :meth:`rank_queries`, so for models whose scores
+        depend on batch composition (LogCL's query-aware attention pools
+        relation context over the batch) the rows match the batch
+        semantics, not N independent single-query calls.
+        """
+        subjects = np.ascontiguousarray(subjects, dtype=np.int64)
+        relations = np.ascontiguousarray(relations, dtype=np.int64)
+        query_time = self.next_time if time is None else int(time)
+        scores = self.predict(subjects, relations, time=query_time)
+        return filtered_topk_rows(scores, subjects, relations, query_time,
+                                  k, self.filter if filtered else None)
 
     def rank_queries(self, subjects: np.ndarray, relations: np.ndarray,
                      targets: np.ndarray, time: Optional[int] = None,

@@ -1,0 +1,215 @@
+"""The JSONL serving protocol, shared by the stdin loop and the daemon.
+
+One request is one JSON **object** per line; one response is one JSON
+object per line.  The request schema (the same one ``repro.cli serve``
+documents) dispatches on ``"op"``:
+
+``advance``   ``{"op": "advance", "time": t, "facts": [[s, r, o], ...]}``
+``predict``   ``{"op": "predict", "queries": [[s, r], ...], "topk": k,
+              "filtered": false, "time": t}``
+``rank``      ``{"op": "rank", "queries": [[s, r, o], ...],
+              "filtered": true, "workers": 1}``
+``stats``     ``{"op": "stats"}``
+``save``      ``{"op": "save", "path": "engine_state.npz"}``
+
+Every request may carry an optional ``"id"`` field, echoed verbatim in
+the response (success or error) so concurrent clients multiplexed over
+one connection can correlate replies.
+
+Boundary contracts enforced here, before anything reaches the engine:
+
+* a decoded line must be a JSON *object* — a bare number or string gets
+  a structured error naming the offending line, never a traceback;
+* fact and query arrays are validated against the end-to-end
+  :data:`repro.tkg.quadruples.FACT_DTYPE` (int32) contract — ids that
+  would silently wrap on the later narrowing are rejected with a clear
+  error at the boundary instead;
+* an N-query ``predict`` is answered through **one** batched
+  :meth:`repro.serving.engine.InferenceEngine.predict` forward plus the
+  shared :func:`repro.eval.metrics.softmax_topk` pass (the request batch
+  is the forward batch, the same composition contract as the ``rank``
+  op), not N single-query forwards.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..tkg.quadruples import FACT_DTYPE
+
+_FACT_MIN = int(np.iinfo(FACT_DTYPE).min)
+_FACT_MAX = int(np.iinfo(FACT_DTYPE).max)
+
+# How much of a malformed line the error message quotes back.
+_LINE_PREVIEW = 120
+
+VALID_OPS = ("advance", "predict", "rank", "stats", "save")
+
+
+class RequestError(ValueError):
+    """A malformed serving request (bad JSON, shape, dtype or op)."""
+
+
+def decode_line(line: str) -> Dict[str, Any]:
+    """Parse one JSONL request line into a dict.
+
+    Raises :class:`RequestError` (naming the offending line) when the
+    line is not valid JSON or decodes to something other than an object
+    — a bare ``5`` or ``"x"`` must produce a structured error response,
+    not an ``AttributeError`` from ``request.get``.
+    """
+    preview = line if len(line) <= _LINE_PREVIEW else \
+        line[:_LINE_PREVIEW] + "..."
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise RequestError(f"invalid JSON ({exc.msg}) in line {preview!r}")
+    if not isinstance(request, dict):
+        raise RequestError(
+            f"request must be a JSON object, got "
+            f"{type(request).__name__} in line {preview!r}")
+    return request
+
+
+def with_id(response: Dict[str, Any],
+            request: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Echo the client's optional ``"id"`` field into ``response``."""
+    if isinstance(request, dict) and "id" in request:
+        response["id"] = request["id"]
+    return response
+
+
+def error_response(error: object,
+                   request: Optional[Dict[str, Any]] = None
+                   ) -> Dict[str, Any]:
+    """The structured failure payload (id echoed when known)."""
+    return with_id({"ok": False, "error": str(error)}, request)
+
+
+def fact_array(value: object, name: str,
+               columns: Tuple[int, ...]) -> np.ndarray:
+    """Validate a request's integer array against the int32 fact contract.
+
+    ``columns`` lists the acceptable widths (e.g. ``(3, 4)`` for advance
+    facts, ``(2,)`` for predict queries).  Values outside the
+    :data:`FACT_DTYPE` (int32) range are rejected here with a clear
+    error instead of silently wrapping when later layers narrow; the
+    returned array is already ``FACT_DTYPE``.
+    """
+    if value is None:
+        raise RequestError(f"request is missing {name!r}")
+    try:
+        arr = np.asarray(value)
+    except (TypeError, ValueError):
+        raise RequestError(f"{name} must be a rectangular integer array")
+    if arr.dtype == object or not np.issubdtype(arr.dtype, np.integer):
+        raise RequestError(f"{name} must contain only integers "
+                           f"(got dtype {arr.dtype})")
+    shape_hint = " or ".join(f"(n, {c})" for c in columns)
+    if arr.ndim != 2 or arr.shape[1] not in columns:
+        raise RequestError(f"{name} must have shape {shape_hint}, "
+                           f"got {arr.shape}")
+    if len(arr):
+        low, high = int(arr.min()), int(arr.max())
+        if low < _FACT_MIN or high > _FACT_MAX:
+            raise RequestError(
+                f"{name} values must fit {np.dtype(FACT_DTYPE).name} "
+                f"(FACT_DTYPE): got range [{low}, {high}]")
+    return arr.astype(FACT_DTYPE)
+
+
+@dataclass(frozen=True)
+class PredictSpec:
+    """A parsed ``predict`` request: aligned query arrays + options."""
+
+    subjects: np.ndarray
+    relations: np.ndarray
+    time: Optional[int]
+    k: int
+    filtered: bool
+
+    def resolve_time(self, engine) -> int:
+        """The concrete query timestamp (engine horizon when unset)."""
+        return engine.next_time if self.time is None else int(self.time)
+
+
+def parse_predict(request: Dict[str, Any]) -> PredictSpec:
+    """Validate and unpack a ``predict`` request's queries and options."""
+    queries = fact_array(request.get("queries"), "queries", columns=(2,))
+    time = request.get("time")
+    return PredictSpec(
+        subjects=np.ascontiguousarray(queries[:, 0]),
+        relations=np.ascontiguousarray(queries[:, 1]),
+        time=None if time is None else int(time),
+        k=int(request.get("topk", 10)),
+        filtered=bool(request.get("filtered", False)))
+
+
+def topk_payload(engine, scores: np.ndarray, spec: PredictSpec,
+                 query_time: int) -> List[List[List[object]]]:
+    """Render a ``(Q, |E|)`` score matrix as the predict results payload.
+
+    One shared :func:`softmax_topk` pass per row over the already-batched
+    scores; with ``spec.filtered`` the engine's time-aware filter strikes
+    known true answers per row first (the same per-query semantics as
+    :meth:`InferenceEngine.predict_topk`).
+    """
+    from .engine import filtered_topk_rows
+    rows = filtered_topk_rows(scores, spec.subjects, spec.relations,
+                              query_time, spec.k, engine.filter
+                              if spec.filtered else None)
+    return [[[entity, round(prob, 6)] for entity, prob in row]
+            for row in rows]
+
+
+def handle_request(engine, request: Dict[str, Any]) -> Dict[str, Any]:
+    """Dispatch one decoded request against ``engine``; returns the payload.
+
+    This is the single serving dispatch shared by the stdin JSONL loop
+    and the socket daemon (whose ``predict`` fast path only replaces the
+    *scheduling* of the forward — the schema and the response shape are
+    this function's).  Raises on invalid input; callers wrap errors via
+    :func:`error_response` so serve loops never die on bad requests.
+    """
+    op = request.get("op")
+    if op == "advance":
+        facts = fact_array(request.get("facts"), "facts", columns=(3, 4))
+        count = engine.advance(facts, time=request.get("time"))
+        return with_id({"ok": True, "op": op, "time": engine.last_time,
+                        "facts_ingested": count}, request)
+    if op == "predict":
+        spec = parse_predict(request)
+        query_time = spec.resolve_time(engine)
+        scores = engine.predict(spec.subjects, spec.relations,
+                                time=query_time)
+        return with_id({"ok": True, "op": op, "time": query_time,
+                        "results": topk_payload(engine, scores, spec,
+                                                query_time)}, request)
+    if op == "rank":
+        queries = fact_array(request.get("queries"), "queries", columns=(3,))
+        time = request.get("time")
+        filtered = bool(request.get("filtered", True))
+        workers = int(request.get("workers", 1))
+        ranks = engine.rank_queries(queries[:, 0], queries[:, 1],
+                                    queries[:, 2], time=time,
+                                    filtered=filtered, workers=workers)
+        return with_id({"ok": True, "op": op,
+                        "time": engine.next_time if time is None
+                        else int(time),
+                        "filtered": filtered,
+                        "ranks": [round(float(r), 6) for r in ranks]},
+                       request)
+    if op == "stats":
+        return with_id({"ok": True, "op": op,
+                        "stats": engine.stats.as_dict()}, request)
+    if op == "save":
+        from ..training import save_engine_state
+        save_engine_state(engine, request["path"],
+                          metadata=request.get("metadata"))
+        return with_id({"ok": True, "op": op, "path": request["path"]},
+                       request)
+    raise RequestError(f"unknown op {op!r}; valid: {', '.join(VALID_OPS)}")

@@ -43,7 +43,8 @@ def load_checkpoint(model: Module, path: str) -> Dict[str, Any]:
 
 # -- serving-engine state --------------------------------------------------
 
-_ENGINE_KEYS = ("__metadata__", "__serving_facts__", "__serving_meta__")
+_ENGINE_KEYS = ("__metadata__", "__serving_facts__", "__serving_meta__",
+                "__serving_store__")
 
 
 def save_engine_state(engine, path: str,
@@ -52,7 +53,11 @@ def save_engine_state(engine, path: str,
 
     One archive restarts the whole service: the model's parameters are
     stored exactly as :func:`save_checkpoint` would, plus the engine's
-    replayable history under reserved ``__serving_*`` keys.
+    replayable history under reserved ``__serving_*`` keys.  For an
+    engine backed by a store file the archive records the backing path
+    (``__serving_store__``) and **only the post-adoption delta facts**
+    — restore re-maps the file and replays just the delta, never a
+    duplicated copy of the mapped history.
     """
     state = engine.model.state_dict()
     for reserved in _ENGINE_KEYS:
@@ -62,6 +67,8 @@ def save_engine_state(engine, path: str,
     payload = dict(state)
     payload["__serving_facts__"] = serving["facts"]
     payload["__serving_meta__"] = serving["meta"]
+    if "store_path" in serving:
+        payload["__serving_store__"] = serving["store_path"]
     payload["__metadata__"] = np.frombuffer(
         json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8)
     os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
@@ -85,6 +92,8 @@ def load_engine_state(engine, path: str) -> Dict[str, Any]:
                   if name not in _ENGINE_KEYS}
         serving = {"facts": archive["__serving_facts__"],
                    "meta": archive["__serving_meta__"]}
+        if "__serving_store__" in archive.files:
+            serving["store_path"] = archive["__serving_store__"]
     engine.model.load_state_dict(params)
     engine.model.eval()
     engine.restore_state(serving)

@@ -85,7 +85,8 @@ class TestServe:
             ["serve", "--model", "logcl", "--dataset", "tiny",
              "--dim", "16", "--checkpoint", checkpoint,
              "--preload", preload])
-        args.requests_from = [json.dumps(r) + "\n" for r in requests]
+        args.requests_from = [r if isinstance(r, str) else
+                              json.dumps(r) + "\n" for r in requests]
         assert args.func(args) == 0
         out = capsys.readouterr().out
         return [json.loads(line) for line in out.splitlines() if line]
@@ -134,3 +135,31 @@ class TestServe:
         ], capsys, preload="train")
         assert responses[1]["ok"] is False
         assert responses[2]["ok"] is True  # loop survived the error
+
+    def test_non_object_lines_get_structured_errors(self, checkpoint,
+                                                    capsys):
+        """A bare `5` or `"x"` line must not surface an AttributeError."""
+        responses = self._serve(checkpoint, [
+            "5\n",
+            '"x"\n',
+            "{broken\n",
+            {"op": "stats"},
+        ], capsys)
+        _, bare, string, broken, stats = responses
+        assert not bare["ok"] and "JSON object" in bare["error"]
+        assert "'5'" in bare["error"]  # names the offending line
+        assert not string["ok"] and "got str" in string["error"]
+        assert not broken["ok"] and "invalid JSON" in broken["error"]
+        assert stats["ok"]  # loop survived every malformed line
+
+    def test_id_echoed_in_every_response(self, checkpoint, capsys):
+        responses = self._serve(checkpoint, [
+            {"op": "predict", "queries": [[0, 0]], "topk": 2, "id": "q1"},
+            {"op": "nonsense", "id": 7},
+            {"op": "advance", "facts": [[0, 0, 2 ** 40]], "id": "big"},
+        ], capsys)
+        _, ok, unknown, out_of_range = responses
+        assert ok["ok"] and ok["id"] == "q1"
+        assert not unknown["ok"] and unknown["id"] == 7
+        assert not out_of_range["ok"] and out_of_range["id"] == "big"
+        assert "int32" in out_of_range["error"]  # FACT_DTYPE boundary

@@ -118,3 +118,24 @@ class TestBadFlags:
              "--workers", "2", "--grad-accum", "4"])
         assert args.workers == 2
         assert args.grad_accum == 4
+
+    def test_serve_daemon_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "logcl", "--dataset", "tiny",
+             "--checkpoint", "x.npz", "--listen", "127.0.0.1:0",
+             "--max-queue", "32", "--batch-window-ms", "1.5",
+             "--batch-pending", "8", "--snapshot", "state.npz",
+             "--fuse-queries"])
+        assert args.listen == "127.0.0.1:0"
+        assert args.max_queue == 32
+        assert args.batch_window_ms == 1.5
+        assert args.batch_pending == 8
+        assert args.snapshot == "state.npz"
+        assert args.fuse_queries is True
+
+    def test_serve_defaults_to_stdin_loop(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "logcl", "--dataset", "tiny",
+             "--checkpoint", "x.npz"])
+        assert args.listen is None
+        assert args.fuse_queries is False

@@ -66,3 +66,100 @@ class TestMicroBatcher:
         assert len(top) == 3
         probs = [p for _, p in top]
         assert probs == sorted(probs, reverse=True)
+
+
+class TestBatchTickets:
+    def test_submit_batch_is_its_own_forward(self, served):
+        """A batch ticket is never merged with pending fused singles."""
+        engine, _ = served
+        batcher = MicroBatcher(engine, max_pending=0)
+        t = engine.next_time
+        single = batcher.submit(4, 0, time=t)  # composition unseen so far
+        batch = batcher.submit_batch([2, 3], [1, 0], time=t)
+        assert len(batcher) == 3  # batch counts its rows
+        misses_before = engine.stats.counters.get("score_cache_misses", 0)
+        batcher.flush()
+        # Two forwards at one timestamp: the fused single + the batch.
+        assert engine.stats.counters["score_cache_misses"] \
+            - misses_before == 2
+        direct = engine.predict(np.array([2, 3]), np.array([1, 0]), time=t)
+        np.testing.assert_array_equal(batch.scores, direct)
+        assert single.done
+        rows = batch.topk(3)
+        assert len(rows) == 2 and all(len(row) == 3 for row in rows)
+
+    def test_batch_rejects_misaligned_arrays(self, served):
+        engine, _ = served
+        batcher = MicroBatcher(engine, max_pending=0)
+        with pytest.raises(ValueError, match="aligned"):
+            batcher.submit_batch([1, 2], [0], time=engine.next_time)
+
+
+class TestFaultSafety:
+    def test_failing_group_marks_tickets_errored_not_dropped(self, served):
+        """A mid-flush engine exception must resolve every popped ticket."""
+        engine, _ = served
+        batcher = MicroBatcher(engine, max_pending=0)
+        t = engine.next_time
+        good = batcher.submit(0, 0, time=t)
+        bad = batcher.submit_batch([0], [0], time=t + 1)
+        also_good = batcher.submit_batch([1], [1], time=t + 2)
+
+        real_predict = engine.predict
+        calls = {"n": 0}
+
+        def flaky_predict(subjects, relations, time=None):
+            calls["n"] += 1
+            if calls["n"] == 2:  # the t+1 group, mid-flush
+                raise RuntimeError("injected engine fault")
+            return real_predict(subjects, relations, time=time)
+
+        engine.predict = flaky_predict
+        try:
+            flushed = batcher.flush()
+        finally:
+            engine.predict = real_predict
+        assert len(flushed) == 3
+        assert all(ticket.done for ticket in flushed)  # nothing dropped
+        assert good.error is None and good.scores is not None
+        assert also_good.error is None and also_good.scores is not None
+        assert "injected engine fault" in str(bad.error)
+        with pytest.raises(RuntimeError, match="failed during flush"):
+            bad.topk(3)
+        assert engine.stats.counters["microbatch_errors"] >= 1
+        assert len(batcher) == 0
+
+    def test_flush_serves_timestamps_in_ascending_order(self, served):
+        """Out-of-order submissions respect the monotonic time contract."""
+        engine, _ = served
+        batcher = MicroBatcher(engine, max_pending=0)
+        t = engine.next_time + 5  # clear of earlier tests' query times
+        later = batcher.submit(0, 0, time=t + 5)
+        earlier = batcher.submit(1, 1, time=t)
+        batcher.flush()
+        assert later.error is None and earlier.error is None
+
+
+class TestTimeWindow:
+    def test_due_fires_on_size_or_age(self, served):
+        engine, _ = served
+        batcher = MicroBatcher(engine, max_pending=3, max_wait_ms=50.0)
+        assert not batcher.due()  # nothing pending
+        ticket = batcher.submit(0, 0)
+        now = ticket.submitted_s
+        assert not batcher.due(now=now)  # young and below size trigger
+        assert batcher.due(now=now + 0.051)  # window elapsed
+        batcher.submit(1, 0)
+        batcher.submit(2, 0)  # size trigger auto-flushes at max_pending
+        assert len(batcher) == 0 and not batcher.due()
+
+    def test_oldest_wait_tracks_first_pending_ticket(self, served):
+        engine, _ = served
+        batcher = MicroBatcher(engine, max_pending=0, max_wait_ms=1000.0)
+        assert batcher.oldest_wait_ms() == 0.0
+        first = batcher.submit(0, 0)
+        batcher.submit(1, 0)
+        waited = batcher.oldest_wait_ms(now=first.submitted_s + 0.25)
+        assert waited == pytest.approx(250.0)
+        assert not batcher.due(now=first.submitted_s + 0.25)
+        assert batcher.due(now=first.submitted_s + 1.25)

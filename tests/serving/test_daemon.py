@@ -1,0 +1,368 @@
+"""Serving daemon lifecycle: concurrency, backpressure, restart.
+
+The three acceptance-grade properties:
+
+* concurrent clients get **bitwise** the answers the serial engine
+  gives (each request batch is its own forward — composition preserved);
+* past the admission-control depth requests are *shed* with a
+  structured overload error, never hung;
+* graceful shutdown snapshots the engine and a restarted daemon
+  replays only the post-snapshot delta (store-file-backed engines keep
+  their facts in the mapped file).
+"""
+
+import json
+import os
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro import LogCL, LogCLConfig
+from repro.data import write_store
+from repro.datasets import load_preset
+from repro.registry import build_model
+from repro.serving import DaemonConfig, InferenceEngine, serve_in_thread
+from repro.serving import protocol
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_preset("tiny")
+
+
+def _model(dataset, seed=0):
+    return LogCL(LogCLConfig(dim=16, window=3, seed=seed),
+                 dataset.num_entities, dataset.num_relations).eval()
+
+
+def _engine(dataset, seed=0, preload=("train",)):
+    engine = InferenceEngine(_model(dataset, seed), dataset.num_entities,
+                             dataset.num_relations, window=3)
+    if preload:
+        engine.preload(dataset, splits=preload)
+    return engine
+
+
+class Client:
+    """One blocking JSONL-over-TCP client connection."""
+
+    def __init__(self, address):
+        self.sock = socket.create_connection(address, timeout=30)
+        self.reader = self.sock.makefile("r", encoding="utf-8")
+
+    def send(self, request):
+        if isinstance(request, dict):
+            request = json.dumps(request)
+        self.sock.sendall((request + "\n").encode("utf-8"))
+
+    def recv(self):
+        line = self.reader.readline()
+        assert line, "daemon closed the connection unexpectedly"
+        return json.loads(line)
+
+    def request(self, request):
+        self.send(request)
+        return self.recv()
+
+    def close(self):
+        self.reader.close()
+        self.sock.close()
+
+
+@pytest.fixture()
+def daemon_pair(dataset):
+    """A served engine plus an identical serial engine for parity."""
+    served = _engine(dataset, seed=0)
+    serial = _engine(dataset, seed=0)
+    handle = serve_in_thread(served, DaemonConfig(
+        max_queue=256, batch_max_pending=8, batch_window_ms=5.0))
+    yield handle, serial
+    handle.stop()
+
+
+class TestConcurrentParity:
+    def test_predict_parity_bitwise(self, daemon_pair, dataset):
+        """8 concurrent clients == the serial engine, response-for-response.
+
+        Each client sends a differently composed query batch; the daemon
+        coalesces them into shared flushes but serves each request as
+        its own forward, so every response must equal (including every
+        probability digit) what `protocol.handle_request` produces on an
+        identical serial engine.
+        """
+        handle, serial = daemon_pair
+        t = serial.next_time
+        facts = dataset.valid.array
+        requests = []
+        for i in range(8):
+            rows = facts[i:i + 3 + (i % 3)]
+            requests.append({"op": "predict", "id": i, "time": int(t),
+                             "queries": rows[:, :2].tolist(), "topk": 5})
+        expected = {r["id"]: protocol.handle_request(serial, r)
+                    for r in requests}
+
+        responses = {}
+        errors = []
+
+        def run(request):
+            client = Client(handle.address)
+            try:
+                responses[request["id"]] = client.request(request)
+            except Exception as exc:  # surfaces in the main thread
+                errors.append(exc)
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=run, args=(r,)) for r in requests]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert not errors
+        assert responses == expected
+
+    def test_rank_parity_bitwise(self, daemon_pair, dataset):
+        handle, serial = daemon_pair
+        t = serial.next_time
+        facts = dataset.valid.array
+        requests = [{"op": "rank", "id": i, "time": int(t),
+                     "queries": facts[i:i + 4, :3].tolist()}
+                    for i in range(8)]
+        expected = {r["id"]: protocol.handle_request(serial, r)
+                    for r in requests}
+        responses = {}
+
+        def run(request):
+            client = Client(handle.address)
+            try:
+                responses[request["id"]] = client.request(request)
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=run, args=(r,)) for r in requests]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert responses == expected
+
+    def test_fused_singles_parity_on_batch_insensitive_model(self, dataset):
+        """fuse_queries merges single-query requests into one forward.
+
+        Only batch-composition-insensitive models (per-row decoders like
+        DistMult) keep bitwise parity under fusion — which is why fusion
+        is opt-in and off by default for LogCL.
+        """
+        served = InferenceEngine(build_model("distmult", dataset,
+                                             dim=16).eval(),
+                                 dataset.num_entities, dataset.num_relations,
+                                 window=3)
+        served.preload(dataset, splits=("train",))
+        serial = InferenceEngine(build_model("distmult", dataset,
+                                             dim=16).eval(),
+                                 dataset.num_entities, dataset.num_relations,
+                                 window=3)
+        serial.preload(dataset, splits=("train",))
+        handle = serve_in_thread(served, DaemonConfig(
+            fuse_queries=True, batch_max_pending=16, batch_window_ms=50.0))
+        try:
+            t = serial.next_time
+            facts = dataset.valid.array[:6]
+            requests = [{"op": "predict", "id": i, "time": int(t),
+                         "queries": [[int(s), int(r)]], "topk": 5}
+                        for i, (s, r) in enumerate(facts[:, :2])]
+            expected = {r["id"]: protocol.handle_request(serial, r)
+                        for r in requests}
+            responses = {}
+
+            def run(request):
+                client = Client(handle.address)
+                try:
+                    responses[request["id"]] = client.request(request)
+                finally:
+                    client.close()
+
+            threads = [threading.Thread(target=run, args=(r,))
+                       for r in requests]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60)
+            assert responses == expected
+            fused = handle.daemon.stats.counters.get("microbatched_queries",
+                                                     0)
+            assert fused >= len(requests)
+        finally:
+            handle.stop()
+
+
+class TestBackpressure:
+    def test_overload_sheds_instead_of_hanging(self, dataset):
+        """A saturating client gets `overloaded` errors, not silence."""
+        engine = _engine(dataset, seed=0)
+        real_predict = engine.predict
+
+        def slow_predict(*args, **kwargs):
+            import time
+            time.sleep(0.05)
+            return real_predict(*args, **kwargs)
+
+        engine.predict = slow_predict
+        handle = serve_in_thread(engine, DaemonConfig(
+            max_queue=2, batch_max_pending=1, batch_window_ms=0.0))
+        try:
+            client = Client(handle.address)
+            total = 30
+            for i in range(total):
+                client.send({"op": "predict", "id": i,
+                             "queries": [[0, 0]], "topk": 3})
+            responses = [client.recv() for _ in range(total)]
+            client.close()
+            shed = [r for r in responses if r.get("shed")]
+            served = [r for r in responses if r["ok"]]
+            assert len(responses) == total  # nothing hung
+            assert shed, "saturating load produced no shed responses"
+            assert all(r["error"] == "overloaded" for r in shed)
+            assert served, "backpressure must not shed everything"
+            assert handle.daemon.stats.counters["requests_shed"] == len(shed)
+        finally:
+            handle.stop()
+
+
+class TestSnapshotRestart:
+    def test_restart_replays_only_post_snapshot_delta(self, dataset,
+                                                      tmp_path):
+        """stop() snapshots; a restarted daemon answers identically.
+
+        The engine is backed by a store file, so the snapshot must hold
+        the backing *path* plus only the facts advanced after adoption —
+        never a copy of the mapped history.
+        """
+        store_path = str(tmp_path / "history.store")
+        write_store(store_path, dataset)
+        snapshot = str(tmp_path / "daemon_state.npz")
+
+        engine = InferenceEngine(_model(dataset, seed=0),
+                                 dataset.num_entities, dataset.num_relations,
+                                 window=3)
+        mapped_facts = engine.use_store_file(store_path)
+        handle = serve_in_thread(engine, DaemonConfig(snapshot_path=snapshot))
+        client = Client(handle.address)
+        t = int(client.request({"op": "stats"})["stats"]["counters"]
+                .get("snapshots_ingested", 0))  # just exercises stats op
+        delta = [[0, 0, 1], [2, 1, 3]]
+        advance = client.request({"op": "advance", "facts": delta})
+        assert advance["ok"]
+        query = {"op": "predict", "queries": [[0, 0], [2, 1]], "topk": 5,
+                 "time": advance["time"] + 1}
+        before = client.request(query)
+        assert before["ok"]
+        client.close()
+        handle.stop()  # graceful: drains, snapshots
+
+        assert os.path.exists(snapshot)
+        with np.load(snapshot) as archive:
+            assert "__serving_store__" in archive.files
+            assert str(archive["__serving_store__"]) == \
+                os.path.abspath(store_path)
+            saved = archive["__serving_facts__"]
+            # Only the delta rows, not the mapped history.
+            assert len(saved) == len(delta)
+            assert len(saved) < mapped_facts
+
+        # "Restart": a fresh engine with *different* init weights — the
+        # snapshot must restore weights AND history.
+        engine2 = InferenceEngine(_model(dataset, seed=7),
+                                  dataset.num_entities,
+                                  dataset.num_relations, window=3)
+        handle2 = serve_in_thread(engine2,
+                                  DaemonConfig(snapshot_path=snapshot))
+        try:
+            assert handle2.daemon.restored_snapshot
+            client2 = Client(handle2.address)
+            after = client2.request(query)
+            client2.close()
+            assert after == before
+        finally:
+            handle2.stop()
+
+    def test_missing_snapshot_starts_cold(self, dataset, tmp_path):
+        engine = _engine(dataset, seed=0)
+        handle = serve_in_thread(engine, DaemonConfig(
+            snapshot_path=str(tmp_path / "never_written.npz")))
+        try:
+            assert not handle.daemon.restored_snapshot
+            client = Client(handle.address)
+            assert client.request({"op": "stats"})["ok"]
+            client.close()
+        finally:
+            handle.stop()
+
+
+class TestProtocolOverTheWire:
+    def test_bad_lines_get_structured_errors(self, dataset):
+        engine = _engine(dataset, seed=0, preload=())
+        handle = serve_in_thread(engine, DaemonConfig())
+        try:
+            client = Client(handle.address)
+            bare = client.request("5")
+            assert not bare["ok"] and "JSON object" in bare["error"]
+            assert "'5'" in bare["error"]  # names the offending line
+            broken = client.request("{not json")
+            assert not broken["ok"] and "invalid JSON" in broken["error"]
+            unknown = client.request({"op": "nonsense", "id": 7})
+            assert not unknown["ok"] and unknown["id"] == 7
+            assert "unknown op" in unknown["error"]
+            client.close()
+        finally:
+            handle.stop()
+
+    def test_out_of_range_ids_rejected(self, dataset):
+        engine = _engine(dataset, seed=0, preload=())
+        handle = serve_in_thread(engine, DaemonConfig())
+        try:
+            client = Client(handle.address)
+            response = client.request({
+                "op": "advance", "id": "big",
+                "facts": [[0, 0, 2 ** 40]]})
+            assert not response["ok"] and response["id"] == "big"
+            assert "int32" in response["error"]
+            client.close()
+        finally:
+            handle.stop()
+
+    def test_id_echo_on_success(self, dataset):
+        engine = _engine(dataset, seed=0)
+        handle = serve_in_thread(engine, DaemonConfig())
+        try:
+            client = Client(handle.address)
+            response = client.request({"op": "predict", "id": "q-1",
+                                       "queries": [[0, 0]], "topk": 3})
+            assert response["ok"] and response["id"] == "q-1"
+            stats = client.request({"op": "stats", "id": 2})
+            assert stats["ok"] and stats["id"] == 2
+            client.close()
+        finally:
+            handle.stop()
+
+    def test_daemon_stats_expose_queue_and_batching(self, dataset):
+        engine = _engine(dataset, seed=0)
+        handle = serve_in_thread(engine, DaemonConfig())
+        try:
+            client = Client(handle.address)
+            client.request({"op": "predict", "queries": [[0, 0]]})
+            client.request({"op": "stats"})
+            stats = client.request({"op": "stats"})["stats"]
+            client.close()
+            assert stats["counters"]["requests_total"] >= 3
+            assert stats["counters"]["daemon_connections"] >= 1
+            assert stats["counters"]["predict_groups"] >= 1
+            assert "daemon/predict" in stats["stages"]
+            # The span around an op closes after its payload renders, so
+            # the *second* stats request sees the first one's span.
+            assert "daemon/stats" in stats["stages"]
+            assert "queue_wait_ms" in stats["scalars"]
+        finally:
+            handle.stop()
