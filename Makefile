@@ -2,8 +2,8 @@
 
 .PHONY: install test test-fast bench bench-table3 serve-bench \
 	serve-daemon-bench eval-bench history-bench train-telemetry-bench \
-	parallel-bench data-bench trace-demo experiments clean-cache \
-	docs-test lint lint-private lint-docstrings
+	parallel-bench data-bench perf-bench trace-demo experiments \
+	clean-cache docs-test lint lint-private lint-docstrings lint-dtype
 
 install:
 	pip install -e .
@@ -41,6 +41,9 @@ parallel-bench:  ## sharded-evaluation parity (always) + speedup (>=4 cores)
 data-bench:  ## store-file capacity: ingest facts/s, bytes/fact, eval QPS
 	pytest benchmarks/test_data_capacity.py --benchmark-only -s
 
+perf-bench:  ## speed pass: >=3x train/eval vs the float64 seed path + parity
+	pytest benchmarks/test_perf_pass.py -s
+
 docs-test:  ## executable docs: every fenced python block + every example script
 	PYTHONPATH=src python tools/run_doc_snippets.py
 	PYTHONPATH=src python examples/quickstart.py --epochs 1 --dim 16
@@ -65,8 +68,18 @@ experiments:  ## rebuild EXPERIMENTS.md from benchmarks/results/
 clean-cache:  ## force full retraining of all benchmark models
 	rm -rf benchmarks/.cache benchmarks/results
 
-lint: lint-private lint-docstrings
+lint: lint-private lint-docstrings lint-dtype
 	python -m pyflakes src/repro || true
+
+lint-dtype:  ## float32 policy: wide floats only via repro/nn/dtypes.py
+	@! grep -rnE 'np\.float64|astype\(float\)' \
+		src/repro/nn src/repro/graph src/repro/core \
+		--include='*.py' \
+		| grep -v 'src/repro/nn/dtypes.py' \
+		|| { echo 'hard-coded wide float in the numeric core (use'\
+		' repro.nn.dtypes.default_float / WIDE_FLOAT so the dtype'\
+		' policy stays in one place)'; \
+		exit 1; }
 
 lint-docstrings:  ## every public def/class in history, parallel, serving documented
 	python tools/check_docstrings.py

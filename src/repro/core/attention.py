@@ -15,7 +15,9 @@ import numpy as np
 
 from ..nn import Module, Parameter, Tensor
 from ..nn import init as weight_init
-from ..nn.ops import concat, segment_mean, softmax, stack
+from ..nn.ops import (concat, fused_global_gate, fused_local_attention,
+                      fused_query_key, segment_mean, softmax, stack)
+from ..perf import FLAGS
 
 
 class QueryKeyBuilder(Module):
@@ -36,6 +38,9 @@ class QueryKeyBuilder(Module):
                 query_subjects: np.ndarray,
                 query_relations: np.ndarray) -> Tensor:
         num_entities = base_entities.shape[0]
+        if FLAGS.fused_kernels:
+            return fused_query_key(base_entities, relations, query_subjects,
+                                   query_relations, self.w4, self.dim)
         from ..nn.ops import index_select
         if len(query_subjects) > 0:
             rel_rows = index_select(relations, query_relations)   # (Q, d)
@@ -74,6 +79,9 @@ class LocalEntityAwareAttention(Module):
                 query_key: Tensor) -> Tensor:
         if not snapshot_aggs:
             return evolved
+        if FLAGS.fused_kernels and self.score == "additive":
+            return fused_local_attention(evolved, list(snapshot_aggs),
+                                         query_key, self.w5)
         scores = [self._score(agg, query_key) for agg in snapshot_aggs]
         score_mat = concat(scores, axis=-1)                 # (N, m)
         alpha = softmax(score_mat, axis=-1)                  # (N, m)
@@ -97,5 +105,7 @@ class GlobalEntityAwareAttention(Module):
         self.w6 = Parameter(weight_init.xavier_uniform((dim, 1), rng))
 
     def forward(self, global_agg: Tensor, query_key: Tensor) -> Tensor:
+        if FLAGS.fused_kernels:
+            return fused_global_gate(global_agg, query_key, self.w6)
         beta = ((global_agg + query_key) @ self.w6).sigmoid()  # (N, 1)
         return global_agg * beta

@@ -23,7 +23,8 @@ import numpy as np
 
 from ..nn import MLP, Module, Tensor
 from ..nn.functional import info_nce
-from ..nn.ops import concat, index_select, l2_normalize
+from ..nn.ops import (concat, fused_query_contrast, index_select,
+                      l2_normalize)
 
 VALID_STRATEGIES = ("lg", "gl", "ll", "gg")
 
@@ -64,6 +65,27 @@ class QueryContrastModule(Module):
         features = concat([index_select(entity_agg, query_subjects),
                            index_select(relations0, query_relations)], axis=-1)
         return l2_normalize(self.global_head(features))
+
+    def fused_loss(self, local_agg: Tensor, relations: Tensor,
+                   global_agg: Tensor, relations0: Tensor,
+                   query_subjects: np.ndarray,
+                   query_relations: np.ndarray) -> Tensor:
+        """project_local + project_global + forward as one autodiff node.
+
+        Numerically identical to the three-call path (the fused op
+        replays the same expressions); used by the model's training loss
+        when ``repro.perf.FLAGS.fused_kernels`` is on.
+        """
+        local_layers = self.local_head.net.layers
+        global_layers = self.global_head.net.layers
+        return fused_query_contrast(
+            local_agg, relations, global_agg, relations0,
+            query_subjects, query_relations,
+            (local_layers[0].weight, local_layers[0].bias,
+             local_layers[2].weight, local_layers[2].bias),
+            (global_layers[0].weight, global_layers[0].bias,
+             global_layers[2].weight, global_layers[2].bias),
+            self.temperature, self.strategies)
 
     def forward(self, z_local: Tensor, z_global: Tensor) -> Tensor:
         """Average of the enabled InfoNCE strategies (Eq. 17)."""

@@ -12,7 +12,8 @@ import numpy as np
 
 from ..nn import Linear, Module, Parameter, Tensor
 from ..nn import init as weight_init
-from ..nn.ops import conv1d_same, dropout, stack
+from ..nn.ops import conv1d_same, dropout, fused_convtranse, stack
+from ..perf import FLAGS
 
 
 class ConvTransE(Module):
@@ -49,4 +50,26 @@ class ConvTransE(Module):
     def forward(self, subjects: Tensor, relations: Tensor,
                 candidates: Tensor) -> Tensor:
         """Raw scores (Q, |E|): query features dotted with candidates."""
+        if FLAGS.fused_kernels:
+            return fused_convtranse(
+                subjects, relations, candidates, self.conv_weight,
+                self.conv_bias, self.fc.weight, self.fc.bias,
+                training=self.training, dropout_rate=self.dropout_rate,
+                rng=self._rng)
         return self.transform(subjects, relations) @ candidates.T
+
+    def forward_indexed(self, entity_matrix: Tensor, relation_matrix: Tensor,
+                        candidates: Tensor, subject_index: np.ndarray,
+                        relation_index: np.ndarray) -> Tensor:
+        """Scores with the per-query row gather folded into the kernel.
+
+        Equivalent to ``forward(entity_matrix[subject_index],
+        relation_matrix[relation_index], candidates)`` but without the
+        two standalone gather nodes (and their scatter-add backwards).
+        """
+        return fused_convtranse(
+            entity_matrix, relation_matrix, candidates, self.conv_weight,
+            self.conv_bias, self.fc.weight, self.fc.bias,
+            training=self.training, dropout_rate=self.dropout_rate,
+            rng=self._rng, subject_index=subject_index,
+            relation_index=relation_index)

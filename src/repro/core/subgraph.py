@@ -34,10 +34,41 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..perf import FLAGS
 from ..tkg.quadruples import FACT_DTYPE, QuadrupleSet
 
 _EMPTY_COLUMN = np.empty(0, dtype=FACT_DTYPE)
 _EMPTY_COLUMN.setflags(write=False)
+
+
+def _dedupe_triples(src: np.ndarray, rel: np.ndarray, dst: np.ndarray
+                    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Unique triples via packed 1-D keys — the fast-path replacement
+    for ``np.unique(np.stack([...], axis=1), axis=0)``.
+
+    Row-wise ``np.unique(axis=0)`` views each row as a void scalar and
+    sorts structured records; on the subgraph hot path that single call
+    was ~40% of eval wall-clock.  Encoding each triple as the integer
+    ``(s * M_r + r) * M_d + d`` (``M_*`` = per-column exclusive upper
+    bounds) is monotone in the row-lexicographic order, so a plain 1-D
+    unique over the keys yields exactly the same rows in the same order,
+    an order of magnitude faster.  Returns ``None`` when the key space
+    would overflow int64 (caller falls back to the row-wise path; ids at
+    icews scale are nowhere near the bound).
+    """
+    s = src.astype(np.int64)
+    r = rel.astype(np.int64)
+    d = dst.astype(np.int64)
+    max_s = int(s.max()) + 1
+    max_r = int(r.max()) + 1
+    max_d = int(d.max()) + 1
+    if max_s * max_r * max_d > 2 ** 63 - 1:  # python ints: no silent wrap
+        return None
+    keys = np.unique((s * max_r + r) * max_d + d)
+    sr, out_dst = np.divmod(keys, max_d)
+    out_src, out_rel = np.divmod(sr, max_r)
+    return (out_src.astype(FACT_DTYPE), out_rel.astype(FACT_DTYPE),
+            out_dst.astype(FACT_DTYPE))
 
 
 class GlobalHistoryIndex:
@@ -280,9 +311,20 @@ class GlobalHistoryIndex:
             empty = np.empty(0, dtype=FACT_DTYPE)
             return empty, empty.copy(), empty.copy()
 
-        ids = np.fromiter(sorted(row_ids), dtype=np.int64, count=len(row_ids))
+        if FLAGS.fast_dedupe:
+            # np.sort over the raw set iteration order matches
+            # sorted(row_ids) exactly and skips the python-object sort.
+            ids = np.fromiter(row_ids, dtype=np.int64, count=len(row_ids))
+            ids.sort()
+        else:
+            ids = np.fromiter(sorted(row_ids), dtype=np.int64,
+                              count=len(row_ids))
         src, rel, dst = self._gather_triples(ids)
         if deduplicate:
+            if FLAGS.fast_dedupe:
+                deduped = _dedupe_triples(src, rel, dst)
+                if deduped is not None:
+                    return deduped
             rows = np.unique(np.stack([src, rel, dst], axis=1), axis=0)
             return rows[:, 0].copy(), rows[:, 1].copy(), rows[:, 2].copy()
         return src.copy(), rel.copy(), dst.copy()

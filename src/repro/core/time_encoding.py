@@ -16,7 +16,9 @@ import numpy as np
 
 from ..nn import Module, Parameter, Tensor
 from ..nn import init as weight_init
-from ..nn.ops import concat
+from ..nn.dtypes import default_float
+from ..nn.ops import concat, fused_time_fuse
+from ..perf import FLAGS
 
 
 class TimeEncoding(Module):
@@ -29,26 +31,30 @@ class TimeEncoding(Module):
         # Initialize frequencies log-uniformly like positional encodings so
         # different dimensions resolve different period lengths.
         freqs = 1.0 / np.power(10.0, np.linspace(0, 2, time_dim))
-        self.w_t = Parameter(freqs.astype(np.float32))
+        self.w_t = Parameter(freqs.astype(default_float()))
         self.b_t = Parameter(weight_init.zeros((time_dim,)))
         # W_0 multiplies the evolving entity state at every snapshot, so a
         # generic random init destabilizes the recurrence.  Initialize as
         # [I; small]: identity on the entity block, a small random map on
         # the time block — the fused embedding starts as "h plus a faint
         # time feature" and learns the mixing from there.
-        fuse = np.zeros((entity_dim + time_dim, entity_dim), dtype=np.float32)
-        fuse[:entity_dim] = np.eye(entity_dim, dtype=np.float32)
+        fuse = np.zeros((entity_dim + time_dim, entity_dim),
+                        dtype=default_float())
+        fuse[:entity_dim] = np.eye(entity_dim, dtype=default_float())
         fuse[entity_dim:] = 0.1 * weight_init.xavier_uniform(
             (time_dim, entity_dim), rng)
         self.w_fuse = Parameter(fuse)
 
     def encode_interval(self, interval: int) -> Tensor:
         """phi(d): a ``(time_dim,)`` feature for one interval."""
-        d = Tensor(np.asarray(float(interval), dtype=np.float32))
+        d = Tensor(np.asarray(float(interval), dtype=self.w_t.dtype))
         return (self.w_t * d + self.b_t).cos()
 
     def forward(self, h: Tensor, interval: int) -> Tensor:
         """Fuse phi(t_q - t_i) into every row of the entity matrix ``h``."""
+        if FLAGS.fused_kernels:
+            return fused_time_fuse(h, self.w_t, self.b_t, self.w_fuse,
+                                   interval)
         phi = self.encode_interval(interval)                 # (time_dim,)
         tiled = phi.reshape(1, self.time_dim).expand(h.shape[0], self.time_dim)
         return concat([h, tiled], axis=-1) @ self.w_fuse

@@ -13,14 +13,18 @@ from typing import Optional
 import numpy as np
 
 from ..nn import Module, Tensor
-from ..nn.ops import index_select, segment_sum
+from ..nn.ops import degree_norm, index_select, segment_sum
 
 
 def in_degree_norm(dst: np.ndarray, num_nodes: int,
                    dtype=np.float32) -> np.ndarray:
-    """Per-destination 1/in-degree normalizer (1 for isolated nodes)."""
-    degree = np.bincount(dst, minlength=num_nodes).astype(dtype)
-    return 1.0 / np.maximum(degree, 1.0)
+    """Per-destination 1/in-degree normalizer (1 for isolated nodes).
+
+    Delegates to :func:`repro.nn.ops.degree_norm` so repeated layers and
+    epochs over the same snapshot reuse the memoized bincount instead of
+    rescanning the edge array (``FLAGS.degree_cache``).
+    """
+    return degree_norm(dst, num_nodes, dtype)
 
 
 class RelationalGraphLayer(Module):

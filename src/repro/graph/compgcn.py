@@ -14,7 +14,8 @@ import numpy as np
 
 from ..nn import Module, Parameter, Tensor
 from ..nn import init as weight_init
-from ..nn.ops import dropout, index_select, rrelu
+from ..nn.ops import dropout, fused_relational_pass, index_select, rrelu
+from ..perf import FLAGS
 from .base import RelationalGraphLayer
 
 _COMPOSITIONS = ("sub", "mult")
@@ -47,6 +48,12 @@ class CompGCNLayer(RelationalGraphLayer):
     def forward(self, h: Tensor, r: Tensor, src: np.ndarray,
                 rel: np.ndarray, dst: np.ndarray) -> Tensor:
         num_nodes = h.shape[0]
+        if FLAGS.fused_kernels:
+            return fused_relational_pass(
+                h, r, self.w_message, self.w_self, src, rel, dst, num_nodes,
+                composition=self.composition, activation=True,
+                training=self.training, dropout_rate=self.dropout_rate,
+                rng=self._rng)
         h_src = index_select(h, src)
         r_edge = index_select(r, rel)
         if self.composition == "sub":

@@ -12,11 +12,11 @@ semantics.
 """
 
 from .cache import (DEFAULT_CONTEXT_CAPACITY, DEFAULT_SUBGRAPH_CAPACITY,
-                    ContextCache, LRUCache, subgraph_key)
+                    ContextCache, LRUCache, array_key, subgraph_key)
 from .store import HistoryStore
 
 __all__ = [
     "HistoryStore",
-    "ContextCache", "LRUCache", "subgraph_key",
+    "ContextCache", "LRUCache", "array_key", "subgraph_key",
     "DEFAULT_CONTEXT_CAPACITY", "DEFAULT_SUBGRAPH_CAPACITY",
 ]

@@ -9,10 +9,14 @@ an unbounded dict on the training ``HistoryContext`` and two hand-rolled
 * :class:`ContextCache` — the history-specific composition every
   consumer shares: one LRU of **precomputed encoder contexts** (keyed by
   query timestamp) and one LRU of **per-batch query subgraphs** (keyed
-  by ``(time, subjects.tobytes(), relations.tobytes())`` — the §III-D
+  by ``(time, array_key(subjects), array_key(relations))`` — the §III-D
   subgraph is seeded from each query's ``(s, r)`` and its historical
   answers, so the forward and inverse phases of one timestamp seed
   *different* subgraphs and may not share one merged edge set).
+
+:func:`array_key` is the shared helper for keying on array contents; it
+folds in dtype and length so byte-aliased arrays of different widths
+(``int64 [0]`` vs ``int32 [0, 0]``) can never share an entry.
 
 Every get-or-build is instrumented through :mod:`repro.obs`: hits and
 misses bump ``context_cache_hits`` / ``context_cache_misses`` /
@@ -85,11 +89,32 @@ class LRUCache:
         self._entries.clear()
 
 
+def array_key(arr: np.ndarray) -> Tuple[str, int, bytes]:
+    """A collision-safe hashable key for an index array's contents.
+
+    Raw ``tobytes()`` alone is NOT a safe cache key: the byte string
+    carries neither dtype nor element count, so e.g. ``int64 [0]`` and
+    ``int32 [0, 0]`` serialize identically (the collision class PR 7
+    fixed in ``repro.nn.ops._SCATTER_CACHE``).  Prefixing the dtype
+    string and length disambiguates every such pair.  Use this helper —
+    not bare ``tobytes()`` — whenever an array's contents become part of
+    a cache key.
+    """
+    arr = np.ascontiguousarray(arr)
+    return (arr.dtype.str, arr.shape[0] if arr.ndim else 0, arr.tobytes())
+
+
 def subgraph_key(query_time: int, subjects: np.ndarray,
-                 relations: np.ndarray) -> Tuple[int, bytes, bytes]:
+                 relations: np.ndarray) -> Tuple:
     """The canonical per-batch subgraph cache key (phase-aware: the query
-    arrays are part of the key, not just the timestamp)."""
-    return (int(query_time), subjects.tobytes(), relations.tobytes())
+    arrays are part of the key, not just the timestamp).
+
+    Both query arrays are keyed through :func:`array_key` so that
+    callers handing in different index dtypes (the serving engine
+    normalizes to ``int32`` fact columns, the training context yields
+    ``int64`` ids) can never alias one another's entries.
+    """
+    return (int(query_time), array_key(subjects), array_key(relations))
 
 
 class ContextCache:

@@ -32,6 +32,10 @@ def multilabel_soft_loss(logits: Tensor, labels: np.ndarray) -> Tensor:
     a multi-hot label row normalized over its positives.  ``labels`` is a
     float multi-hot matrix ``(batch, num_entities)``.
     """
+    from ..perf import FLAGS
+    if FLAGS.fused_kernels:
+        from .ops import fused_multilabel_loss
+        return fused_multilabel_loss(logits, labels)
     log_p = log_softmax(logits, axis=-1)
     weights = labels / np.maximum(labels.sum(axis=-1, keepdims=True), 1.0)
     return -(log_p * Tensor(weights.astype(logits.dtype))).sum(axis=-1).mean()

@@ -12,39 +12,41 @@ from typing import Tuple
 
 import numpy as np
 
+from .dtypes import resolve_dtype
+
 
 def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
-                   gain: float = 1.0, dtype=np.float32) -> np.ndarray:
+                   gain: float = 1.0, dtype=None) -> np.ndarray:
     """Glorot/Xavier uniform: U(-a, a), a = gain * sqrt(6 / (fan_in+fan_out))."""
     fan_in, fan_out = _fans(shape)
     bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+    return rng.uniform(-bound, bound, size=shape).astype(resolve_dtype(dtype))
 
 
 def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator,
-                  gain: float = 1.0, dtype=np.float32) -> np.ndarray:
+                  gain: float = 1.0, dtype=None) -> np.ndarray:
     """Glorot/Xavier normal: N(0, gain^2 * 2 / (fan_in + fan_out))."""
     fan_in, fan_out = _fans(shape)
     std = gain * math.sqrt(2.0 / (fan_in + fan_out))
-    return (rng.standard_normal(shape) * std).astype(dtype)
+    return (rng.standard_normal(shape) * std).astype(resolve_dtype(dtype))
 
 
 def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
-                    dtype=np.float32) -> np.ndarray:
+                    dtype=None) -> np.ndarray:
     """He uniform for ReLU-family activations."""
     fan_in, _ = _fans(shape)
     bound = math.sqrt(6.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+    return rng.uniform(-bound, bound, size=shape).astype(resolve_dtype(dtype))
 
 
 def normal(shape: Tuple[int, ...], rng: np.random.Generator,
-           std: float = 0.02, dtype=np.float32) -> np.ndarray:
+           std: float = 0.02, dtype=None) -> np.ndarray:
     """Plain Gaussian initialization."""
-    return (rng.standard_normal(shape) * std).astype(dtype)
+    return (rng.standard_normal(shape) * std).astype(resolve_dtype(dtype))
 
 
-def zeros(shape: Tuple[int, ...], dtype=np.float32) -> np.ndarray:
-    return np.zeros(shape, dtype=dtype)
+def zeros(shape: Tuple[int, ...], dtype=None) -> np.ndarray:
+    return np.zeros(shape, dtype=resolve_dtype(dtype))
 
 
 def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:

@@ -13,6 +13,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from . import init as weight_init
+from .dtypes import default_float
 from .ops import dropout as dropout_op
 from .tensor import Tensor
 
@@ -178,8 +179,8 @@ class LayerNorm(Module):
         super().__init__()
         self.dim = dim
         self.eps = eps
-        self.gamma = Parameter(np.ones(dim, dtype=np.float32))
-        self.beta = Parameter(np.zeros(dim, dtype=np.float32))
+        self.gamma = Parameter(np.ones(dim, dtype=default_float()))
+        self.beta = Parameter(np.zeros(dim, dtype=default_float()))
 
     def forward(self, x: Tensor) -> Tensor:
         mean = x.mean(axis=-1, keepdims=True)
@@ -253,10 +254,10 @@ class BatchNorm1d(Module):
         self.dim = dim
         self.momentum = momentum
         self.eps = eps
-        self.gamma = Parameter(np.ones(dim, dtype=np.float32))
-        self.beta = Parameter(np.zeros(dim, dtype=np.float32))
-        self.running_mean = np.zeros(dim, dtype=np.float32)
-        self.running_var = np.ones(dim, dtype=np.float32)
+        self.gamma = Parameter(np.ones(dim, dtype=default_float()))
+        self.beta = Parameter(np.zeros(dim, dtype=default_float()))
+        self.running_mean = np.zeros(dim, dtype=default_float())
+        self.running_var = np.ones(dim, dtype=default_float())
 
     def forward(self, x: Tensor) -> Tensor:
         if self.training:

@@ -15,6 +15,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..perf import FLAGS as _PERF
 from .tensor import Tensor, _unbroadcast, is_grad_enabled
 
 try:  # scipy accelerates the scatter primitives; ops degrade gracefully
@@ -22,7 +23,18 @@ try:  # scipy accelerates the scatter primitives; ops degrade gracefully
 except ImportError:  # pragma: no cover - scipy is a soft dependency
     _sparse = None
 
+try:  # direct C entry point — skips ~15µs of `@`-operator dispatch per
+    # scatter (format/shape re-validation); output is bitwise identical
+    # because `csr_matvecs` is exactly what the dispatch bottoms out in.
+    from scipy.sparse._sparsetools import csr_matvecs as _csr_matvecs
+except Exception:  # pragma: no cover - private API; degrade to `@`
+    _csr_matvecs = None
+
 IndexLike = Union[Tensor, np.ndarray, Sequence[int]]
+
+# Memo of dtype -> "is integer" (np.issubdtype costs a subclass walk and
+# index validation runs on every gather/scatter call).
+_INT_DTYPES: dict = {}
 
 # Cache of one-hot scatter matrices keyed by the index array's contents.
 # Graph snapshots are re-encoded every epoch with identical edge arrays,
@@ -65,6 +77,15 @@ def _scatter_add_rows(idx: np.ndarray, values: np.ndarray,
         out = np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)
         np.add.at(out, idx, values)
         return out
+    if _csr_matvecs is not None and _PERF.fused_kernels and values.ndim <= 2:
+        vals = values[:, None] if values.ndim == 1 else values
+        vals = np.ascontiguousarray(vals)
+        n_vecs = vals.shape[1]
+        out = np.zeros((num_segments, n_vecs),
+                       dtype=np.promote_types(mat.dtype, vals.dtype))
+        _csr_matvecs(num_segments, vals.shape[0], n_vecs, mat.indptr,
+                     mat.indices, mat.data, vals.ravel(), out.ravel())
+        return out.reshape(num_segments) if values.ndim == 1 else out
     if values.ndim == 1:
         return np.asarray(mat @ values[:, None]).reshape(num_segments)
     return np.asarray(mat @ values)
@@ -74,9 +95,59 @@ def _index_array(index: IndexLike) -> np.ndarray:
     if isinstance(index, Tensor):
         index = index.data
     arr = np.asarray(index)
-    if not np.issubdtype(arr.dtype, np.integer):
+    is_int = _INT_DTYPES.get(arr.dtype)
+    if is_int is None:
+        is_int = bool(np.issubdtype(arr.dtype, np.integer))
+        _INT_DTYPES[arr.dtype] = is_int
+    if not is_int:
         raise TypeError(f"indices must be integers, got {arr.dtype}")
     return arr
+
+
+# Cache of per-segment element counts (np.bincount results).  The edge
+# arrays of a snapshot are immutable, so the in-degree counts feeding
+# mean aggregation and the R-GCN normalizer are recomputed with identical
+# inputs on every layer of every epoch; hoisting them out of the forward
+# is one lever of the PR-8 speed pass (repro.perf FLAGS.degree_cache).
+_COUNTS_CACHE: "OrderedDict[tuple, np.ndarray]" = None
+_COUNTS_CACHE_LIMIT = 2048
+
+
+def segment_counts(idx: np.ndarray, num_segments: int) -> np.ndarray:
+    """``np.bincount(idx, minlength=num_segments)``, memoized.
+
+    The returned int64 array is shared and read-only when served from
+    the cache; callers must copy before mutating.  With
+    ``FLAGS.degree_cache`` off this is a plain bincount.
+    """
+    global _COUNTS_CACHE
+    if not _PERF.degree_cache:
+        return np.bincount(idx, minlength=num_segments)
+    if _COUNTS_CACHE is None:
+        from collections import OrderedDict
+        _COUNTS_CACHE = OrderedDict()
+    key = (idx.dtype.str, len(idx), idx.tobytes(), num_segments)
+    cached = _COUNTS_CACHE.get(key)
+    if cached is not None:
+        _COUNTS_CACHE.move_to_end(key)
+        return cached
+    counts = np.bincount(idx, minlength=num_segments)
+    counts.setflags(write=False)
+    _COUNTS_CACHE[key] = counts
+    if len(_COUNTS_CACHE) > _COUNTS_CACHE_LIMIT:
+        _COUNTS_CACHE.popitem(last=False)
+    return counts
+
+
+def degree_norm(idx: np.ndarray, num_segments: int, dtype) -> np.ndarray:
+    """Per-segment ``1/max(count, 1)`` normalizer (Eq. 4's ``1/c_o``).
+
+    Counts come from the :func:`segment_counts` memo; the (cheap) cast
+    and reciprocal stay per-call so every float dtype sees the same
+    cached integer counts.
+    """
+    counts = segment_counts(idx, num_segments)
+    return 1.0 / np.maximum(counts.astype(dtype), 1.0)
 
 
 # ---------------------------------------------------------------------------
@@ -192,7 +263,7 @@ def segment_mean(values: Tensor, segment_ids: IndexLike,
                  num_segments: int) -> Tensor:
     """Mean-pool ``values`` rows into buckets; empty buckets stay zero."""
     idx = _index_array(segment_ids)
-    counts = np.bincount(idx, minlength=num_segments).astype(values.data.dtype)
+    counts = segment_counts(idx, num_segments).astype(values.data.dtype)
     counts = np.maximum(counts, 1.0)
     total = segment_sum(values, idx, num_segments)
     return total * Tensor(1.0 / counts[:, None] if values.ndim > 1 else 1.0 / counts)
@@ -212,15 +283,23 @@ def segment_softmax(scores: Tensor, segment_ids: IndexLike,
     seg_max = np.where(np.isfinite(seg_max), seg_max, 0.0)
     shifted = data - seg_max[idx]
     exp = np.exp(shifted)
-    seg_sum = np.zeros(num_segments, dtype=data.dtype)
-    np.add.at(seg_sum, idx, exp)
+    if _PERF.fused_kernels:
+        # CSR scatter beats np.add.at by an order of magnitude on the
+        # repeated edge arrays of the encoder; same sums, same order.
+        seg_sum = _scatter_add_rows(idx, exp, num_segments)
+    else:
+        seg_sum = np.zeros(num_segments, dtype=data.dtype)
+        np.add.at(seg_sum, idx, exp)
     out_data = exp / np.maximum(seg_sum[idx], 1e-12)
 
     def backward(grad: np.ndarray) -> None:
         # d softmax: p * (grad - sum_j p_j grad_j) within each segment
         weighted = out_data * grad
-        seg_dot = np.zeros(num_segments, dtype=data.dtype)
-        np.add.at(seg_dot, idx, weighted)
+        if _PERF.fused_kernels:
+            seg_dot = _scatter_add_rows(idx, weighted, num_segments)
+        else:
+            seg_dot = np.zeros(num_segments, dtype=data.dtype)
+            np.add.at(seg_dot, idx, weighted)
         scores._accumulate(weighted - out_data * seg_dot[idx])
 
     return Tensor._make(out_data, (scores,), backward)
@@ -426,3 +505,554 @@ def conv1d_same(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Ten
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     return Tensor._make(out_data, parents, backward)
+
+# ---------------------------------------------------------------------------
+# fused encoder kernels (PR-8 performance pass)
+# ---------------------------------------------------------------------------
+# One graph-layer / recurrent-cell step costs ~20 autodiff nodes on the
+# generic op path; at icews14_like scale the per-node Python overhead
+# (closure allocation, topo-sort bookkeeping, _unbroadcast checks)
+# dominates the arithmetic.  Each fused op below collapses one hot
+# sub-graph of the LogCL encoder into a single Tensor node whose forward
+# replays the generic path's numpy expressions in the same order —
+# eval-mode outputs are bitwise identical, and the training forward
+# draws from the RNG in the same order/shapes so sampled slopes and
+# dropout masks match too.  The handwritten backwards are analytically
+# equal but may differ in float summation order, so gradients agree to
+# ulp-level tolerance rather than bitwise (asserted by
+# tests/nn/test_fused_kernels.py).  `repro.perf.legacy_kernels()`
+# switches every call site back to the generic path.
+
+def fused_relational_pass(h: Tensor, r: Tensor, w_message: Tensor,
+                          w_self: Tensor, src: np.ndarray, rel: np.ndarray,
+                          dst: np.ndarray, num_nodes: int, *,
+                          composition: str = "add", activation: bool = True,
+                          training: bool = False, dropout_rate: float = 0.0,
+                          rng: Optional[np.random.Generator] = None,
+                          lower: float = 1.0 / 8.0,
+                          upper: float = 1.0 / 3.0) -> Tensor:
+    """One R-GCN/CompGCN layer as a single autodiff node.
+
+    Computes ``dropout(rrelu(mean_by_dst(compose(h[src], r[rel]) @
+    W_msg) + h @ W_self))`` with ``compose`` one of ``add`` (RE-GCN
+    message), ``sub`` or ``mult`` (CompGCN compositions).  Equivalent to
+    the chain of index_select/segment ops in
+    ``repro.graph.{rgcn,compgcn}`` but with one backward closure and no
+    intermediate Tensor nodes.
+    """
+    hd, rd = h.data, r.data
+    h_src = hd[src]
+    r_edge = rd[rel]
+    if composition == "add":
+        composed = h_src + r_edge
+    elif composition == "sub":
+        composed = h_src - r_edge
+    elif composition == "mult":
+        composed = h_src * r_edge
+    else:
+        raise ValueError(f"unknown composition '{composition}'")
+    messages = composed @ w_message.data
+    norm = degree_norm(dst, num_nodes, messages.dtype)
+    aggregated = _scatter_add_rows(dst, messages, num_nodes) * norm[:, None]
+    pre = aggregated + hd @ w_self.data
+    if activation:
+        if training:
+            rng = rng or np.random.default_rng()
+            slope = rng.uniform(lower, upper, size=pre.shape).astype(pre.dtype)
+        else:
+            slope = pre.dtype.type((lower + upper) / 2.0)
+        act = np.where(pre >= 0, pre, slope * pre)
+    else:
+        slope = None
+        act = pre
+    if training and dropout_rate > 0.0:
+        rng = rng or np.random.default_rng()
+        keep = 1.0 - dropout_rate
+        mask = (rng.random(act.shape) < keep).astype(act.dtype) / keep
+        out_data = act * mask
+    else:
+        mask = None
+        out_data = act
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad * mask if mask is not None else grad
+        if activation:
+            g = g * np.where(pre >= 0, 1.0, slope)
+        if w_self.requires_grad:
+            w_self._accumulate(hd.T @ g)
+        g_messages = (g * norm[:, None])[dst]
+        if w_message.requires_grad:
+            w_message._accumulate(composed.T @ g_messages)
+        g_composed = g_messages @ w_message.data.T
+        if composition == "mult":
+            g_hsrc = g_composed * r_edge
+            g_redge = g_composed * h_src
+        else:
+            g_hsrc = g_composed
+            g_redge = -g_composed if composition == "sub" else g_composed
+        if h.requires_grad:
+            h._accumulate(g @ w_self.data.T
+                          + _scatter_add_rows(src, g_hsrc, hd.shape[0]))
+        if r.requires_grad:
+            r._accumulate(_scatter_add_rows(rel, g_redge, rd.shape[0]))
+
+    return Tensor._make(out_data, (h, r, w_message, w_self), backward)
+
+
+def fused_gru_step(x: Tensor, h: Tensor, w_x: Tensor, w_h: Tensor,
+                   bias: Tensor, hidden_dim: int) -> Tensor:
+    """One GRU cell update as a single autodiff node.
+
+    Same gate math and ``[z | r | n]`` packed-weight layout as
+    ``repro.nn.recurrent.GRUCell.forward``; the sigmoids/tanh reuse its
+    exact numpy expressions so forward outputs are bitwise identical.
+    """
+    d = hidden_dim
+    xd, hd = x.data, h.data
+    gx = xd @ w_x.data + bias.data
+    gh = hd @ w_h.data
+    z = 1.0 / (1.0 + np.exp(-(gx[:, :d] + gh[:, :d])))
+    rr = 1.0 / (1.0 + np.exp(-(gx[:, d:2 * d] + gh[:, d:2 * d])))
+    n = np.tanh(gx[:, 2 * d:] + rr * gh[:, 2 * d:])
+    out_data = (1.0 - z) * n + z * hd
+
+    def backward(grad: np.ndarray) -> None:
+        pre_n = grad * (1.0 - z) * (1.0 - n * n)
+        g_r = pre_n * gh[:, 2 * d:]
+        pre_r = g_r * rr * (1.0 - rr)
+        pre_z = grad * (hd - n) * z * (1.0 - z)
+        g_gx = np.concatenate([pre_z, pre_r, pre_n], axis=1)
+        g_gh = np.concatenate([pre_z, pre_r, pre_n * rr], axis=1)
+        if w_x.requires_grad:
+            w_x._accumulate(xd.T @ g_gx)
+        if bias.requires_grad:
+            bias._accumulate(g_gx.sum(axis=0))
+        if x.requires_grad:
+            x._accumulate(g_gx @ w_x.data.T)
+        if w_h.requires_grad:
+            w_h._accumulate(hd.T @ g_gh)
+        if h.requires_grad:
+            h._accumulate(grad * z + g_gh @ w_h.data.T)
+
+    return Tensor._make(out_data, (x, h, w_x, w_h, bias), backward)
+
+
+def fused_time_gate_evolve(entities: Tensor, relations: Tensor,
+                           src: np.ndarray, rel: np.ndarray,
+                           weight: Tensor, bias: Tensor) -> Tensor:
+    """Relation evolution (Eq. 6-7) as a single autodiff node.
+
+    ``pooled = segment_mean(entities[src], rel); cand = pooled +
+    relations; out = gate * cand + (1 - gate) * relations`` with ``gate
+    = sigmoid(cand @ W + b)`` — the fused form of
+    ``LocalRecurrentEncoder._evolve_relations`` + ``TimeGate``.
+    """
+    num_rel = relations.data.shape[0]
+    ed, reld = entities.data, relations.data
+    vals = ed[src]
+    counts = np.maximum(
+        segment_counts(rel, num_rel).astype(vals.dtype), 1.0)
+    inv = 1.0 / counts
+    pooled = _scatter_add_rows(rel, vals, num_rel) * inv[:, None]
+    cand = pooled + reld
+    gate = 1.0 / (1.0 + np.exp(-(cand @ weight.data + bias.data)))
+    out_data = gate * cand + (1.0 - gate) * reld
+
+    def backward(grad: np.ndarray) -> None:
+        pre = grad * (cand - reld) * gate * (1.0 - gate)
+        if weight.requires_grad:
+            weight._accumulate(cand.T @ pre)
+        if bias.requires_grad:
+            bias._accumulate(pre.sum(axis=0))
+        g_cand = grad * gate + pre @ weight.data.T
+        if relations.requires_grad:
+            relations._accumulate(grad * (1.0 - gate) + g_cand)
+        if entities.requires_grad:
+            g_vals = (g_cand * inv[:, None])[rel]
+            entities._accumulate(_scatter_add_rows(src, g_vals, ed.shape[0]))
+
+    return Tensor._make(out_data, (entities, relations, weight, bias),
+                        backward)
+
+def fused_time_fuse(h: Tensor, w_t: Tensor, b_t: Tensor, w_fuse: Tensor,
+                    interval: int) -> Tensor:
+    """Time-interval fusion (Eq. 2-3) as a single autodiff node.
+
+    ``cos(d * w_t + b_t)`` tiled over rows, concatenated with ``h`` and
+    projected by ``w_fuse`` — the fused form of
+    ``repro.core.time_encoding.TimeEncoding.forward``.
+    """
+    hd = h.data
+    num_rows, ent_dim = hd.shape
+    time_dim = w_t.data.shape[0]
+    dval = np.asarray(float(interval), dtype=w_t.data.dtype)
+    pre = w_t.data * dval + b_t.data
+    phi = np.cos(pre)
+    tiled = np.broadcast_to(phi.reshape(1, time_dim), (num_rows, time_dim))
+    cat = np.concatenate([hd, tiled], axis=-1)
+    out_data = cat @ w_fuse.data
+
+    def backward(grad: np.ndarray) -> None:
+        if w_fuse.requires_grad:
+            w_fuse._accumulate(cat.T @ grad)
+        g_cat = grad @ w_fuse.data.T
+        if h.requires_grad:
+            h._accumulate(g_cat[:, :ent_dim])
+        g_phi = g_cat[:, ent_dim:].sum(axis=0)
+        g_pre = -np.sin(pre) * g_phi
+        if w_t.requires_grad:
+            w_t._accumulate(g_pre * dval)
+        if b_t.requires_grad:
+            b_t._accumulate(g_pre)
+
+    return Tensor._make(out_data, (h, w_t, b_t, w_fuse), backward)
+
+
+def fused_query_key(base: Tensor, relations: Tensor,
+                    query_subjects: np.ndarray,
+                    query_relations: np.ndarray, w4: Tensor,
+                    dim: int) -> Tensor:
+    """Query-aware entity key (Eq. 9) as a single autodiff node.
+
+    ``W_4 [segment_mean(r[q_rel] by q_subj) || h]`` — the fused form of
+    ``repro.core.attention.QueryKeyBuilder.forward``.
+    """
+    bd, rd = base.data, relations.data
+    num_entities = bd.shape[0]
+    num_queries = len(query_subjects)
+    if num_queries > 0:
+        rel_rows = rd[query_relations]
+        counts = np.maximum(
+            segment_counts(query_subjects, num_entities).astype(rd.dtype), 1.0)
+        inv = 1.0 / counts
+        total = _scatter_add_rows(query_subjects, rel_rows, num_entities)
+        rel_context = total * inv[:, None]
+    else:
+        inv = None
+        rel_context = np.zeros((num_entities, dim), dtype=bd.dtype)
+    cat = np.concatenate([rel_context, bd], axis=-1)
+    out_data = cat @ w4.data
+
+    def backward(grad: np.ndarray) -> None:
+        if w4.requires_grad:
+            w4._accumulate(cat.T @ grad)
+        g_cat = grad @ w4.data.T
+        if base.requires_grad:
+            base._accumulate(g_cat[:, dim:])
+        if relations.requires_grad and num_queries > 0:
+            g_rows = (g_cat[:, :dim] * inv[:, None])[query_subjects]
+            relations._accumulate(
+                _scatter_add_rows(query_relations, g_rows, rd.shape[0]))
+
+    return Tensor._make(out_data, (base, relations, w4), backward)
+
+
+def fused_local_attention(evolved: Tensor, snapshot_aggs: Sequence[Tensor],
+                          query_key: Tensor, w5: Tensor) -> Tensor:
+    """Additive snapshot attention (Eq. 10-11) as a single autodiff node.
+
+    Scores every snapshot aggregate against the query key, softmaxes
+    across the window and adds the weighted sum to ``evolved`` — the
+    fused form of ``LocalEntityAwareAttention.forward`` (additive score;
+    the dot-score variant stays on the generic path).
+    """
+    keyd = query_key.data
+    aggs = [a.data for a in snapshot_aggs]
+    sums = [a + keyd for a in aggs]
+    score_mat = np.concatenate([s @ w5.data for s in sums], axis=-1)
+    shifted = score_mat - score_mat.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    alpha = exp / exp.sum(axis=-1, keepdims=True)
+    stacked = np.stack(aggs, axis=1)
+    weighted = stacked * alpha.reshape(alpha.shape[0], alpha.shape[1], 1)
+    out_data = evolved.data + weighted.sum(axis=1)
+
+    def backward(grad: np.ndarray) -> None:
+        if evolved.requires_grad:
+            evolved._accumulate(grad)
+        g_stacked = alpha[:, :, None] * grad[:, None, :]
+        g_alpha = (stacked * grad[:, None, :]).sum(axis=-1)
+        dot = (g_alpha * alpha).sum(axis=-1, keepdims=True)
+        g_score = alpha * (g_alpha - dot)                       # (N, m)
+        if w5.requires_grad:
+            w5._accumulate(np.einsum("nid,ni->d", np.stack(sums, axis=1),
+                                     g_score)[:, None])
+        g_pre = g_score[:, :, None] * w5.data[:, 0][None, None, :]
+        if query_key.requires_grad:
+            query_key._accumulate(g_pre.sum(axis=1))
+        for i, agg in enumerate(snapshot_aggs):
+            if agg.requires_grad:
+                agg._accumulate(g_stacked[:, i, :] + g_pre[:, i, :])
+
+    parents = (evolved, query_key, w5) + tuple(snapshot_aggs)
+    return Tensor._make(out_data, parents, backward)
+
+
+def fused_global_gate(global_agg: Tensor, query_key: Tensor,
+                      w6: Tensor) -> Tensor:
+    """Global attention gate (Eq. 13-14) as a single autodiff node.
+
+    ``beta = sigmoid((agg + key) @ w6); out = agg * beta`` — the fused
+    form of ``GlobalEntityAwareAttention.forward``.
+    """
+    aggd, keyd = global_agg.data, query_key.data
+    summed = aggd + keyd
+    beta = 1.0 / (1.0 + np.exp(-(summed @ w6.data)))
+    out_data = aggd * beta
+
+    def backward(grad: np.ndarray) -> None:
+        g_beta = (grad * aggd).sum(axis=-1, keepdims=True)
+        g_pre = g_beta * beta * (1.0 - beta)
+        if w6.requires_grad:
+            w6._accumulate(summed.T @ g_pre)
+        g_sum = g_pre @ w6.data.T
+        if global_agg.requires_grad:
+            global_agg._accumulate(grad * beta + g_sum)
+        if query_key.requires_grad:
+            query_key._accumulate(g_sum)
+
+    return Tensor._make(out_data, (global_agg, query_key, w6), backward)
+
+
+def fused_convtranse(subjects: Tensor, relations: Tensor, candidates: Tensor,
+                     conv_w: Tensor, conv_b: Tensor, fc_w: Tensor,
+                     fc_b: Tensor, *, training: bool = False,
+                     dropout_rate: float = 0.0,
+                     rng: Optional[np.random.Generator] = None,
+                     subject_index: Optional[np.ndarray] = None,
+                     relation_index: Optional[np.ndarray] = None) -> Tensor:
+    """The whole ConvTransE scoring chain (Eq. 18) as one autodiff node.
+
+    stack -> dropout -> conv1d(same) -> relu -> dropout -> fc -> relu ->
+    dropout -> candidate dot products, replicating
+    ``repro.core.decoder.ConvTransE.forward`` (including its three
+    dropout RNG draws, in order) with one backward closure.  When
+    ``subject_index`` / ``relation_index`` are given, ``subjects`` /
+    ``relations`` are full embedding matrices and the per-query row
+    gather (plus its scatter-add backward) folds into this node too.
+    """
+    sd, rd = subjects.data, relations.data
+    if subject_index is not None:
+        sd = sd[subject_index]
+    if relation_index is not None:
+        rd = rd[relation_index]
+    num_q, dim = sd.shape
+    num_k, _, kw = conv_w.shape
+    drop = training and dropout_rate > 0.0
+    keep = 1.0 - dropout_rate
+    if drop:
+        rng = rng or np.random.default_rng()
+
+    x = np.stack([sd, rd], axis=1)                             # (Q, 2, d)
+    if drop:
+        mask1 = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+        x = x * mask1
+    pad_left = (kw - 1) // 2
+    pad_right = kw - 1 - pad_left
+    padded = np.pad(x, ((0, 0), (0, 0), (pad_left, pad_right)))
+    cols = np.lib.stride_tricks.sliding_window_view(padded, kw, axis=2)
+    cols = cols.transpose(0, 2, 1, 3).reshape(num_q * dim, 2 * kw)
+    w2 = conv_w.data.reshape(num_k, 2 * kw)
+    feat = (cols @ w2.T).reshape(num_q, dim, num_k).transpose(0, 2, 1)
+    pre1 = feat + conv_b.data[None, :, None]                   # (Q, K, d)
+    act1 = np.maximum(pre1, 0.0)
+    if drop:
+        mask2 = (rng.random(act1.shape) < keep).astype(act1.dtype) / keep
+        act1 = act1 * mask2
+    flat = act1.reshape(num_q, num_k * dim)
+    pre2 = flat @ fc_w.data + fc_b.data                        # (Q, d)
+    act2 = np.maximum(pre2, 0.0)
+    if drop:
+        mask3 = (rng.random(act2.shape) < keep).astype(act2.dtype) / keep
+        act2 = act2 * mask3
+    out_data = act2 @ candidates.data.T                        # (Q, |E|)
+
+    def backward(grad: np.ndarray) -> None:
+        if candidates.requires_grad:
+            candidates._accumulate(grad.T @ act2)
+        g = grad @ candidates.data
+        if drop:
+            g = g * mask3
+        g = g * (pre2 > 0)
+        if fc_w.requires_grad:
+            fc_w._accumulate(flat.T @ g)
+        if fc_b.requires_grad:
+            fc_b._accumulate(g.sum(axis=0))
+        g = (g @ fc_w.data.T).reshape(num_q, num_k, dim)
+        if drop:
+            g = g * mask2
+        g = g * (pre1 > 0)
+        if conv_b.requires_grad:
+            conv_b._accumulate(g.sum(axis=(0, 2)))
+        g2 = g.transpose(0, 2, 1).reshape(num_q * dim, num_k)
+        if conv_w.requires_grad:
+            conv_w._accumulate((g2.T @ cols).reshape(num_k, 2, kw))
+        gcols = (g2 @ w2).reshape(num_q, dim, 2, kw).transpose(0, 2, 1, 3)
+        gpad = np.zeros_like(padded)
+        for j in range(kw):
+            gpad[:, :, j:j + dim] += gcols[:, :, :, j]
+        gx = gpad[:, :, pad_left:pad_left + dim]
+        if drop:
+            gx = gx * mask1
+        if subjects.requires_grad:
+            g_subj = gx[:, 0]
+            if subject_index is not None:
+                g_subj = _scatter_add_rows(subject_index, g_subj,
+                                           subjects.data.shape[0])
+            subjects._accumulate(g_subj)
+        if relations.requires_grad:
+            g_rel = gx[:, 1]
+            if relation_index is not None:
+                g_rel = _scatter_add_rows(relation_index, g_rel,
+                                          relations.data.shape[0])
+            relations._accumulate(g_rel)
+
+    return Tensor._make(out_data, (subjects, relations, candidates, conv_w,
+                                   conv_b, fc_w, fc_b), backward)
+
+
+def _l2_rows(z: np.ndarray, eps: float = 1e-12):
+    """Forward of :func:`l2_normalize` on raw arrays (+ backward state)."""
+    norm = np.sqrt((z ** 2).sum(axis=-1, keepdims=True))
+    degenerate = norm < eps
+    safe = np.maximum(norm, eps)
+    return np.where(degenerate, 0.0, z / safe), degenerate, safe
+
+
+def _l2_rows_backward(grad, out, degenerate, safe):
+    dot = (grad * out).sum(axis=-1, keepdims=True)
+    return np.where(degenerate, 0.0, (grad - out * dot) / safe)
+
+
+def fused_query_contrast(local_agg: Tensor, local_rel: Tensor,
+                         global_agg: Tensor, global_rel: Tensor,
+                         query_subjects: np.ndarray,
+                         query_relations: np.ndarray,
+                         local_head: Sequence[Tensor],
+                         global_head: Sequence[Tensor],
+                         temperature: float,
+                         strategies: Sequence[str]) -> Tensor:
+    """The full query-contrast loss (Eq. 15-17) as one autodiff node.
+
+    Projects both query views through their two-layer tanh MLP heads,
+    L2-normalizes, and averages the enabled InfoNCE strategies — the
+    fused form of ``QueryContrastModule.project_local/project_global/
+    forward``.  ``local_head`` / ``global_head`` are the flattened
+    ``(w1, b1, w2, b2)`` parameters of each projection MLP.
+    """
+    lw1, lb1, lw2, lb2 = local_head
+    gw1, gb1, gw2, gb2 = global_head
+    num_q = len(query_subjects)
+    dim = local_agg.data.shape[1]
+    if num_q < 2:
+        return Tensor(np.zeros((), dtype=local_agg.data.dtype))
+
+    def project(agg, rel, w1, b1, w2, b2):
+        feats = np.concatenate([agg.data[query_subjects],
+                                rel.data[query_relations]], axis=-1)
+        t1 = np.tanh(feats @ w1.data + b1.data)
+        z = t1 @ w2.data + b2.data
+        zn, degenerate, safe = _l2_rows(z)
+        return feats, t1, zn, degenerate, safe
+
+    feats_l, t1_l, z_l, deg_l, safe_l = project(local_agg, local_rel,
+                                                lw1, lb1, lw2, lb2)
+    feats_g, t1_g, z_g, deg_g, safe_g = project(global_agg, global_rel,
+                                                gw1, gb1, gw2, gb2)
+
+    pairs = {"lg": (z_l, z_g), "gl": (z_g, z_l),
+             "ll": (z_l, z_l), "gg": (z_g, z_g)}
+    inv_temp = np.asarray(1.0 / temperature, dtype=z_l.dtype)
+    diag = np.arange(num_q)
+    terms = []
+    total = None
+    for name in strategies:
+        anchor, cand = pairs[name]
+        sims = (anchor @ cand.T) * inv_temp
+        shifted = sims - sims.max(axis=-1, keepdims=True)
+        log_sum = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        log_p = shifted - log_sum
+        loss = -(log_p[diag, diag].mean())
+        terms.append((name, np.exp(log_p)))
+        total = loss if total is None else total + loss
+    scale = np.asarray(1.0 / len(strategies), dtype=total.dtype)
+    out_data = total * scale
+
+    def backward(grad: np.ndarray) -> None:
+        factor = grad * scale * inv_temp / num_q
+        g_zl = np.zeros_like(z_l)
+        g_zg = np.zeros_like(z_g)
+        grads = {"l": g_zl, "g": g_zg}
+        views = {"l": z_l, "g": z_g}
+        for name, soft in terms:
+            g_sims = soft * factor
+            g_sims[diag, diag] -= factor
+            grads[name[0]] += g_sims @ views[name[1]]
+            grads[name[1]] += g_sims.T @ views[name[0]]
+
+        def unproject(g_z, zn, degenerate, safe, t1, feats,
+                      agg, rel, w1, b1, w2, b2):
+            g = _l2_rows_backward(g_z, zn, degenerate, safe)
+            if w2.requires_grad:
+                w2._accumulate(t1.T @ g)
+            if b2.requires_grad:
+                b2._accumulate(g.sum(axis=0))
+            g_h = (g @ w2.data.T) * (1.0 - t1 * t1)
+            if w1.requires_grad:
+                w1._accumulate(feats.T @ g_h)
+            if b1.requires_grad:
+                b1._accumulate(g_h.sum(axis=0))
+            g_f = g_h @ w1.data.T
+            if agg.requires_grad:
+                agg._accumulate(_scatter_add_rows(
+                    query_subjects, g_f[:, :dim], agg.data.shape[0]))
+            if rel.requires_grad:
+                rel._accumulate(_scatter_add_rows(
+                    query_relations, g_f[:, dim:], rel.data.shape[0]))
+
+        unproject(g_zl, z_l, deg_l, safe_l, t1_l, feats_l,
+                  local_agg, local_rel, lw1, lb1, lw2, lb2)
+        unproject(g_zg, z_g, deg_g, safe_g, t1_g, feats_g,
+                  global_agg, global_rel, gw1, gb1, gw2, gb2)
+
+    return Tensor._make(out_data, (local_agg, local_rel, global_agg,
+                                   global_rel, lw1, lb1, lw2, lb2,
+                                   gw1, gb1, gw2, gb2), backward)
+
+
+def fused_blend(a: Tensor, b: Tensor, weight_a: float) -> Tensor:
+    """``a * w + b * (1 - w)`` (Eq. 19's λ-fusion) as one autodiff node."""
+    wa = np.asarray(weight_a, dtype=a.data.dtype)
+    wb = np.asarray(1.0 - weight_a, dtype=a.data.dtype)
+    out_data = a.data * wa + b.data * wb
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * wa)
+        if b.requires_grad:
+            b._accumulate(grad * wb)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def fused_multilabel_loss(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Softmax cross-entropy against normalized multi-hot rows (Eq. 20).
+
+    One autodiff node replicating
+    ``repro.nn.functional.multilabel_soft_loss``'s log-softmax / weight /
+    reduce chain.
+    """
+    data = logits.data
+    shifted = data - data.max(axis=-1, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_p = shifted - log_sum
+    weights = labels / np.maximum(labels.sum(axis=-1, keepdims=True), 1.0)
+    weights = weights.astype(data.dtype)
+    out_data = -((log_p * weights).sum(axis=-1).mean())
+
+    def backward(grad: np.ndarray) -> None:
+        g_logp = weights * (-grad / data.shape[0])
+        soft = np.exp(log_p)
+        logits._accumulate(g_logp - soft * g_logp.sum(axis=-1, keepdims=True))
+
+    return Tensor._make(out_data, (logits,), backward)

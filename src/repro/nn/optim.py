@@ -12,6 +12,7 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..perf import FLAGS
 from .modules import Parameter
 
 
@@ -73,24 +74,49 @@ class Adam(Optimizer):
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # Per-parameter scratch buffer: the update below runs entirely
+        # through ``out=`` ufuncs, so one reusable buffer per parameter
+        # replaces the eight temporaries the textbook form allocates.
+        self._scratch = [np.empty_like(p.data) for p in self.params]
 
     def step(self) -> None:
         self._step += 1
         bc1 = 1.0 - self.beta1 ** self._step
         bc2 = 1.0 - self.beta2 ** self._step
-        for p, m, v in zip(self.params, self._m, self._v):
+        inplace = FLAGS.inplace_optim
+        for p, m, v, buf in zip(self.params, self._m, self._v, self._scratch):
             if p.grad is None:
                 continue
             grad = p.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * p.data
+            if not inplace:
+                # Textbook form (pre-pass path): ~8 temporaries per param.
+                m *= self.beta1
+                m += (1.0 - self.beta1) * grad
+                v *= self.beta2
+                v += (1.0 - self.beta2) * grad * grad
+                m_hat = m / bc1
+                v_hat = v / bc2
+                p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat)
+                                                     + self.eps)
+                continue
+            # m = b1*m + (1-b1)*g ; v = b2*v + (1-b2)*g^2, allocation-free
+            np.multiply(grad, 1.0 - self.beta1, out=buf)
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            m += buf
+            np.multiply(grad, grad, out=buf)
+            buf *= 1.0 - self.beta2
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bc1
-            v_hat = v / bc2
-            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            v += buf
+            # p -= (lr/bc1) * m / (sqrt(v/bc2) + eps) — algebraically the
+            # bias-corrected update, with the scalar factors folded.
+            np.divide(v, bc2, out=buf)
+            np.sqrt(buf, out=buf)
+            buf += self.eps
+            np.divide(m, buf, out=buf)
+            buf *= self.lr / bc1
+            p.data -= buf
 
 
 def clip_grad_norm(params: Iterable[Parameter], max_norm: float,
@@ -104,7 +130,13 @@ def clip_grad_norm(params: Iterable[Parameter], max_norm: float,
     norm is already computed here, so the hook costs nothing extra.
     """
     params = [p for p in params if p.grad is not None]
-    total = math.sqrt(sum(float((p.grad ** 2).sum()) for p in params))
+    if FLAGS.inplace_optim:
+        # np.dot on the raveled gradient skips the squared temporary.
+        total = math.sqrt(sum(
+            float(np.dot(g, g)) for g in
+            (p.grad.ravel() for p in params)))
+    else:
+        total = math.sqrt(sum(float((p.grad ** 2).sum()) for p in params))
     clipped = total > max_norm and total > 0
     if clipped:
         scale = max_norm / (total + 1e-12)

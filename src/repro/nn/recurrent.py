@@ -9,9 +9,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..perf import FLAGS
 from . import init as weight_init
 from .modules import Module, Parameter
-from .ops import concat
+from .ops import concat, fused_gru_step
 from .tensor import Tensor
 
 
@@ -41,6 +42,8 @@ class GRUCell(Module):
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
         d = self.hidden_dim
+        if FLAGS.fused_kernels:
+            return fused_gru_step(x, h, self.w_x, self.w_h, self.bias, d)
         gates_x = x @ self.w_x + self.bias
         gates_h = h @ self.w_h
         z = (gates_x[:, :d] + gates_h[:, :d]).sigmoid()

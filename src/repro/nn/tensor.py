@@ -31,9 +31,24 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .dtypes import resolve_dtype
+
 Arrayish = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = True
+
+# Memo of dtype -> "is floating" checks: np.issubdtype shows up in
+# profiles when every op output re-derives it, and the answer is a pure
+# function of the dtype object.
+_FLOAT_DTYPES: dict = {}
+
+
+def _is_float_dtype(dt) -> bool:
+    cached = _FLOAT_DTYPES.get(dt)
+    if cached is None:
+        cached = bool(np.issubdtype(dt, np.floating))
+        _FLOAT_DTYPES[dt] = cached
+    return cached
 
 
 @contextlib.contextmanager
@@ -83,8 +98,6 @@ def _as_array(value: Arrayish, dtype=None) -> np.ndarray:
     arr = np.asarray(value)
     if dtype is not None:
         arr = arr.astype(dtype, copy=False)
-    elif arr.dtype == np.float64:
-        pass  # keep precision if the caller handed us float64
     return arr
 
 
@@ -108,7 +121,7 @@ class Tensor:
         if isinstance(data, Tensor):
             data = data.data
         self.data = np.asarray(data)
-        if requires_grad and not np.issubdtype(self.data.dtype, np.floating):
+        if requires_grad and not _is_float_dtype(self.data.dtype):
             raise TypeError(
                 f"only float tensors can require gradients, got {self.data.dtype}"
             )
@@ -532,22 +545,28 @@ class Tensor:
 
 
 def tensor(data: Arrayish, requires_grad: bool = False,
-           dtype=np.float32) -> Tensor:
-    """Convenience constructor mirroring ``torch.tensor``."""
+           dtype=None) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``.
+
+    Float data is narrowed to the :mod:`repro.nn.dtypes` policy default
+    (float32) unless an explicit ``dtype`` is given.
+    """
     if isinstance(data, Tensor):
         data = data.data
     arr = np.asarray(data)
-    if dtype is not None and np.issubdtype(arr.dtype, np.floating):
-        arr = arr.astype(dtype, copy=False)
+    if _is_float_dtype(arr.dtype):
+        arr = arr.astype(resolve_dtype(dtype), copy=False)
     return Tensor(arr, requires_grad=requires_grad)
 
 
-def zeros(*shape: int, requires_grad: bool = False, dtype=np.float32) -> Tensor:
-    return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+def zeros(*shape: int, requires_grad: bool = False, dtype=None) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=resolve_dtype(dtype)),
+                  requires_grad=requires_grad)
 
 
-def ones(*shape: int, requires_grad: bool = False, dtype=np.float32) -> Tensor:
-    return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+def ones(*shape: int, requires_grad: bool = False, dtype=None) -> Tensor:
+    return Tensor(np.ones(shape, dtype=resolve_dtype(dtype)),
+                  requires_grad=requires_grad)
 
 
 def zeros_like(t: Tensor, requires_grad: bool = False) -> Tensor:

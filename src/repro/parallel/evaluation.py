@@ -85,18 +85,30 @@ def _run_eval_shard(state: Dict, payload: Tuple[int, int]
     rank_batch = (batch_ranks_vectorized if state["batched"]
                   else batch_ranks_per_query)
     noise_key = state["noise_key"]
+    # Mirror the serial protocol's inverse-phase context reuse: blocks
+    # are contiguous in the time-ordered batch list, so a shard usually
+    # holds both phases of its timestamps and shares one precomputed
+    # context per timestamp.  Noisy models reseed per batch — their
+    # contexts are batch-dependent and must not be shared.
+    from ..eval.protocol import predict_scores_reusing, reuse_context_enabled
+    context_memo = ({} if noise_key is None and reuse_context_enabled(model)
+                    else None)
     ranks_out: List[np.ndarray] = []
     for index in range(start, end):
         batch = state["batches"][index]
         if noise_key is not None:
             model.reseed_noise((noise_key, index))
         with telemetry.span("forward"):
-            scores = model.predict_on(batch)
+            scores = (predict_scores_reusing(model, batch, context_memo)
+                      if context_memo is not None
+                      else model.predict_on(batch))
         with telemetry.span("rank"):
             ranks = rank_batch(scores, batch, state["time_filter"],
                                state["static_filter"])
         telemetry.incr("queries_evaluated", len(batch))
         ranks_out.append(ranks)
+    if not state.get("want_telemetry", True):
+        return ranks_out, None
     return ranks_out, telemetry.export_state()
 
 
@@ -116,23 +128,31 @@ def sharded_ranks(model, batches: Sequence, time_filter, static_filter,
     if not batches:
         return []
     context = batches[0].context
+    batch_sizes = [len(batch) for batch in batches]
     # Too few queries and forking costs more than it buys: degrade the
     # worker count (possibly to the serial path) before planning shards.
-    workers = effective_workers(workers,
-                                sum(len(batch) for batch in batches))
+    # The degradation is observable: see effective_workers' counters.
+    workers = effective_workers(workers, sum(batch_sizes),
+                                telemetry=telemetry)
     noise_key = (model.draw_noise_seed()
                  if getattr(model, "input_noise_std", 0.0) > 0.0 else None)
     state = {
         "model": model, "context": context, "batches": list(batches),
         "time_filter": time_filter, "static_filter": static_filter,
         "batched": batched, "noise_key": noise_key,
+        # Workers skip assembling/pickling telemetry snapshots nobody
+        # will read when the parent evaluates with the null telemetry.
+        "want_telemetry": telemetry is not NULL_TELEMETRY,
         # Mapped stores hand workers the backing-file path (plus the
         # parent pid so the serial fallback can tell it never forked).
         "store_path": getattr(getattr(context, "store", None),
                               "backing_path", None),
         "parent_pid": os.getpid(),
     }
-    shards = plan_shards(len(batches), workers)
+    # Shard boundaries equalize *query counts*, not batch counts: whole
+    # timestamps vary in size by an order of magnitude, and equal-batch
+    # shards routinely left one worker with half the queries.
+    shards = plan_shards(len(batches), workers, weights=batch_sizes)
     with ShardPool(workers, shared=state) as pool:
         results = pool.map(_run_eval_shard, shards)
     # The serial fallback ran the shard protocol in-process and rebound
@@ -142,7 +162,8 @@ def sharded_ranks(model, batches: Sequence, time_filter, static_filter,
     ranks_in_order: List[np.ndarray] = []
     for block_ranks, telemetry_state in results:
         ranks_in_order.extend(block_ranks)
-        telemetry.merge_state(telemetry_state)
+        if telemetry_state is not None:
+            telemetry.merge_state(telemetry_state)
     return ranks_in_order
 
 
@@ -235,21 +256,25 @@ def _run_rank_shard(state: Dict, payload: Tuple[int, int]) -> np.ndarray:
 def sharded_filtered_ranks(scores: np.ndarray, subjects: np.ndarray,
                            relations: np.ndarray, targets: np.ndarray,
                            time: int, time_filter, filtered: bool,
-                           workers: int) -> np.ndarray:
+                           workers: int,
+                           telemetry: Telemetry = NULL_TELEMETRY
+                           ) -> np.ndarray:
     """Shard the filtered-ranking kernel over row blocks of one batch.
 
     Scoring happens *before* this call (batch composition is model
     semantics — splitting the forward pass would change attention
     pooling); only the per-row mask-and-rank work fans out.  Row ranks
     are independent, so concatenating block results in row order is
-    bitwise-identical to the one-shot kernel.
+    bitwise-identical to the one-shot kernel.  Worker-count degradation
+    lands in ``telemetry`` (the serving engine passes its stats here, so
+    a collapsed ``workers=N`` request shows up in ``stats.summary()``).
     """
     state = {
         "scores": scores, "subjects": subjects, "relations": relations,
         "targets": targets, "time": int(time), "filter": time_filter,
         "filtered": bool(filtered),
     }
-    workers = effective_workers(workers, len(targets))
+    workers = effective_workers(workers, len(targets), telemetry=telemetry)
     shards = plan_shards(len(targets), workers)
     with ShardPool(workers, shared=state) as pool:
         blocks = pool.map(_run_rank_shard, shards)

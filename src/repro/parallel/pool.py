@@ -38,6 +38,10 @@ import itertools
 import multiprocessing as mp
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..obs import NULL_TELEMETRY, Telemetry
+
 # Shared-state registry, keyed by pool token.  Entries are registered
 # before the pool forks, so worker processes inherit them copy-on-write;
 # tokens keep nested pools (a sharded evaluate inside a sharded fit)
@@ -72,7 +76,8 @@ MIN_ITEMS_PER_SHARD = 64
 
 
 def effective_workers(workers: int, total_items: int,
-                      floor: Optional[int] = None) -> int:
+                      floor: Optional[int] = None,
+                      telemetry: Telemetry = NULL_TELEMETRY) -> int:
     """Degrade a worker request so every worker gets a meaningful shard.
 
     ``total_items`` is the protocol's own unit of work (queries for
@@ -81,35 +86,67 @@ def effective_workers(workers: int, total_items: int,
     capped so no worker's share drops below the floor.  ``floor=None``
     reads :data:`MIN_ITEMS_PER_SHARD` at call time (tests lower it to
     keep forking on tiny datasets).
+
+    The degradation used to be silent; callers asking for ``workers=N``
+    and measuring a 1x speedup had no way to see why.  Any reduction of
+    a ``workers > 1`` request now lands in ``telemetry``: a
+    ``parallel_serial_collapse`` counter when the request collapses all
+    the way to the serial path, a ``parallel_workers_capped`` counter
+    for a partial cap, and the granted count as the
+    ``parallel_effective_workers`` observation either way.
     """
-    workers = resolve_workers(workers)
-    if workers <= 1:
-        return 1
-    if floor is None:
-        floor = MIN_ITEMS_PER_SHARD
-    if floor <= 0:
-        return workers
-    capacity = total_items // floor
-    if capacity < 2:
-        return 1
-    return min(workers, capacity)
+    requested = resolve_workers(workers)
+    granted = requested
+    if requested > 1:
+        if floor is None:
+            floor = MIN_ITEMS_PER_SHARD
+        if floor > 0:
+            capacity = total_items // floor
+            granted = 1 if capacity < 2 else min(requested, capacity)
+    if requested > 1:
+        if granted == 1:
+            telemetry.incr("parallel_serial_collapse")
+        elif granted < requested:
+            telemetry.incr("parallel_workers_capped")
+        telemetry.observe("parallel_effective_workers", float(granted))
+    return granted
 
 
-def plan_shards(num_items: int, workers: int,
-                oversubscribe: int = 2) -> List[Tuple[int, int]]:
+def plan_shards(num_items: int, workers: int, oversubscribe: int = 2,
+                weights: Optional[Sequence[float]] = None
+                ) -> List[Tuple[int, int]]:
     """Split ``range(num_items)`` into contiguous ``(start, end)`` shards.
 
-    Produces roughly ``workers * oversubscribe`` near-equal shards so a
-    slow shard cannot stall the pool for a whole epoch of work; for one
-    worker the plan is a single shard (the serial walk).  Contiguity
-    matters: batch lists are time-ordered, so a contiguous shard advances
-    its worker's monotonic history index forward only.
+    Produces roughly ``workers * oversubscribe`` shards so a slow shard
+    cannot stall the pool for a whole epoch of work; for one worker the
+    plan is a single shard (the serial walk).  Contiguity matters: batch
+    lists are time-ordered, so a contiguous shard advances its worker's
+    monotonic history index forward only.
+
+    ``weights`` autotunes the shard *boundaries* to per-item cost: item
+    counts are a poor proxy when items are whole timestamp batches whose
+    query counts vary by an order of magnitude, so with weights the
+    bounds equalize cumulative weight instead (boundaries land where the
+    running total crosses each equal fraction of the grand total).
+    Unweighted plans are unchanged.
     """
     if num_items <= 0:
         return []
     if workers <= 1:
         return [(0, num_items)]
     target = min(num_items, max(1, workers * oversubscribe))
+    if weights is not None:
+        w = np.asarray(weights, dtype=np.float64)
+        if len(w) != num_items:
+            raise ValueError(f"got {len(w)} weights for {num_items} items")
+        total = float(w.sum())
+        if total > 0.0:
+            cumulative = np.cumsum(w)
+            marks = total * np.arange(1, target) / target
+            inner = np.searchsorted(cumulative, marks, side="left") + 1
+            bounds = [0] + [int(b) for b in np.minimum(inner, num_items)] \
+                + [num_items]
+            return [(a, b) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
     bounds = [round(i * num_items / target) for i in range(target + 1)]
     return [(a, b) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
 

@@ -42,7 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..eval.metrics import ranks_of_targets, softmax_topk
-from ..history import HistoryStore, ContextCache, LRUCache
+from ..history import HistoryStore, ContextCache, LRUCache, subgraph_key
 from ..nn import no_grad
 from ..tkg.dataset import Snapshot, TKGDataset
 from ..tkg.filtering import TimeAwareFilter
@@ -310,7 +310,11 @@ class InferenceEngine:
 
         memo_enabled = (self._score_cache.capacity > 0
                         and getattr(self.model, "input_noise_std", 0.0) <= 0.0)
-        key = (query_time, subjects.tobytes(), relations.tobytes())
+        # subgraph_key folds dtype+length into the key (repro.history
+        # .array_key) — the queries above are normalized to int64, but
+        # keying through the shared helper keeps every content-addressed
+        # cache in the repo collision-safe by construction.
+        key = subgraph_key(query_time, subjects, relations)
         if memo_enabled:
             cached = self._score_cache.get(key)
             if cached is not None:
@@ -412,7 +416,7 @@ class InferenceEngine:
                 from ..parallel.evaluation import sharded_filtered_ranks
                 ranks = sharded_filtered_ranks(
                     scores, subjects, relations, targets, query_time,
-                    self.filter, filtered, workers)
+                    self.filter, filtered, workers, telemetry=self.stats)
             else:
                 if filtered:
                     rows, cols = self.filter.mask_indices_for_batch(

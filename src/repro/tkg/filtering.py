@@ -87,6 +87,10 @@ class TimeAwareFilter:
         relations = np.ascontiguousarray(relations, dtype=np.int64)
         targets = np.ascontiguousarray(targets, dtype=np.int64)
         time = int(time)
+        # tobytes() keying is collision-safe here only because the three
+        # arrays were just normalized to contiguous int64 (fixed width,
+        # aligned lengths); see repro.history.array_key for the general
+        # dtype/length-collision hazard.
         key = (time, subjects.tobytes(), relations.tobytes(),
                targets.tobytes())
         cached = self._mask_cache.get(key)
@@ -181,6 +185,9 @@ class StaticFilter:
         subjects = np.ascontiguousarray(subjects, dtype=np.int64)
         relations = np.ascontiguousarray(relations, dtype=np.int64)
         targets = np.ascontiguousarray(targets, dtype=np.int64)
+        # Safe tobytes() keying: all three arrays are contiguous int64 of
+        # equal length by the normalization above (cf. repro.history
+        # .array_key).
         key = (subjects.tobytes(), relations.tobytes(), targets.tobytes())
         cached = self._mask_cache.get(key)
         if cached is not None:

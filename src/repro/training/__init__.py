@@ -3,13 +3,14 @@
 from .checkpoint import (load_checkpoint, load_engine_state, save_checkpoint,
                          save_engine_state)
 from .context import (PHASES, HistoryContext, TimestepBatch,
-                      iter_timestep_batches)
+                      iter_joint_timestep_batches, iter_timestep_batches)
 from .online import OnlineConfig, evaluate_online
 from .trainer import (TrainConfig, Trainer, TrainResult,
                       export_history, load_history)
 
 __all__ = [
-    "HistoryContext", "TimestepBatch", "iter_timestep_batches", "PHASES",
+    "HistoryContext", "TimestepBatch", "iter_timestep_batches",
+    "iter_joint_timestep_batches", "PHASES",
     "Trainer", "TrainConfig", "TrainResult",
     "export_history", "load_history",
     "OnlineConfig", "evaluate_online",

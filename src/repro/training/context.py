@@ -232,3 +232,31 @@ def iter_timestep_batches(dataset: TKGDataset, split: str,
                 time=int(t), subjects=facts[:, 2].copy(),
                 relations=facts[:, 1] + num_rel, objects=facts[:, 0].copy(),
                 phase="inverse", context=context)
+
+
+def iter_joint_timestep_batches(dataset: TKGDataset, split: str,
+                                context: HistoryContext,
+                                min_history: int = 1
+                                ) -> Iterator[TimestepBatch]:
+    """Yield one batch per timestamp holding both propagation phases.
+
+    The original LogCL/RE-GCN training loop scores a timestamp's facts
+    and their inverses as *one* batch with one optimizer step; the
+    two-phase iterator above splits them for ablations and evaluation.
+    Joint batches halve the per-timestamp encoder work during training
+    (one window walk, one global subgraph — built for the union of both
+    phases' query entities — and one backward pass instead of two).
+    Evaluation keeps the two-phase iterator: metric rows and per-phase
+    query records must not depend on the training batching.
+    """
+    quads = dataset.splits()[split]
+    num_rel = dataset.num_relations
+    for t, facts in sorted(quads.group_by_time().items()):
+        if t < min_history:
+            continue
+        yield TimestepBatch(
+            time=int(t),
+            subjects=np.concatenate([facts[:, 0], facts[:, 2]]),
+            relations=np.concatenate([facts[:, 1], facts[:, 1] + num_rel]),
+            objects=np.concatenate([facts[:, 2], facts[:, 0]]),
+            phase="joint", context=context)

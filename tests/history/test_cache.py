@@ -5,7 +5,7 @@ import pytest
 
 from repro.datasets import tiny
 from repro.history import (DEFAULT_SUBGRAPH_CAPACITY, ContextCache, LRUCache,
-                           subgraph_key)
+                           array_key, subgraph_key)
 from repro.obs import Telemetry
 from repro.training.context import HistoryContext, iter_timestep_batches
 
@@ -52,6 +52,55 @@ class TestContextCache:
         fwd = subgraph_key(5, np.array([0, 1]), np.array([0, 0]))
         inv = subgraph_key(5, np.array([2, 3]), np.array([2, 2]))
         assert fwd != inv
+
+
+class TestByteAliasedKeys:
+    """Regression: keys derived from raw ``tobytes()`` collide across
+    dtypes/widths — ``int64 [0]`` and ``int32 [0, 0]`` serialize to the
+    same eight zero bytes.  ``array_key`` folds in dtype and length so no
+    such pair can ever share a cache entry."""
+
+    # Pairs whose tobytes() are identical but whose contents are not.
+    ALIASES = [
+        (np.array([0], dtype=np.int64), np.array([0, 0], dtype=np.int32)),
+        (np.array([1], dtype=np.int64),
+         np.array([1, 0], dtype=np.int32)),  # little-endian alias of 1
+        (np.array([], dtype=np.int64), np.array([], dtype=np.int32)),
+    ]
+
+    def test_tobytes_actually_collides(self):
+        # The precondition that makes this a regression test at all.
+        for wide, narrow in self.ALIASES:
+            assert wide.tobytes() == narrow.tobytes()
+
+    def test_array_key_disambiguates(self):
+        for wide, narrow in self.ALIASES:
+            assert array_key(wide) != array_key(narrow)
+
+    def test_subgraph_key_disambiguates(self):
+        for wide, narrow in self.ALIASES:
+            rel = np.array([0], dtype=np.int64)
+            assert (subgraph_key(5, wide, rel)
+                    != subgraph_key(5, narrow, rel))
+
+    def test_colliding_arrays_get_distinct_cache_entries(self):
+        cache = ContextCache()
+        rel = np.array([0], dtype=np.int64)
+        wide, narrow = self.ALIASES[0]
+        first = cache.subgraph(5, wide, rel, lambda: "wide-entry")
+        second = cache.subgraph(5, narrow, rel, lambda: "narrow-entry")
+        assert first == "wide-entry" and second == "narrow-entry"
+
+    def test_scatter_cache_key_includes_dtype_and_length(self):
+        # Same defect class in repro.nn.ops._SCATTER_CACHE (fixed PR 7):
+        # scatter matrices for byte-aliased index arrays must differ.
+        from repro.nn.ops import _scatter_add_rows
+        from repro.perf import clear_perf_caches
+        clear_perf_caches()
+        wide, narrow = self.ALIASES[0]
+        out_wide = _scatter_add_rows(wide, np.ones((1, 2)), 3)
+        out_narrow = _scatter_add_rows(narrow, np.ones((2, 2)), 3)
+        assert out_wide[0, 0] == 1.0 and out_narrow[0, 0] == 2.0
 
     def test_bound_never_exceeded(self):
         cache = ContextCache(context_capacity=2, subgraph_capacity=3)

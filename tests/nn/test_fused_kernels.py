@@ -1,0 +1,382 @@
+"""Fast-vs-legacy parity for the PR-8 fused encoder kernels.
+
+Every fused op replays the generic op path's numpy expressions in the
+same order, so **forward outputs are bitwise identical** — including in
+training mode, where both paths must draw RReLU slopes and dropout masks
+from the RNG with identical call order and shapes.  The handwritten
+backwards are analytically equal but may sum in a different float order,
+so **gradients agree to tight tolerances** rather than bitwise.
+
+Each test builds two identically-seeded module instances and runs one
+under the default flags and one under ``repro.perf.legacy_kernels()``.
+The model-level tests at the bottom exercise every fused op at once
+through real LogCL training batches.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LogCL, LogCLConfig
+from repro.core.attention import (GlobalEntityAwareAttention,
+                                  LocalEntityAwareAttention, QueryKeyBuilder)
+from repro.core.contrast import QueryContrastModule
+from repro.core.decoder import ConvTransE
+from repro.core.time_encoding import TimeEncoding
+from repro.datasets import icews14_like
+from repro.graph.compgcn import CompGCN
+from repro.graph.rgcn import RGCN
+from repro.nn import functional as F
+from repro.nn.ops import fused_blend, fused_multilabel_loss, index_select
+from repro.nn.recurrent import GRUCell
+from repro.nn.tensor import Tensor
+from repro.perf import clear_perf_caches, legacy_kernels
+from repro.training.context import (HistoryContext,
+                                    iter_joint_timestep_batches,
+                                    iter_timestep_batches)
+
+DIM = 8
+NODES = 12
+EDGES = 30
+SEED = 7
+
+
+def _tensor(rng, shape):
+    return Tensor(rng.standard_normal(shape).astype(np.float32),
+                  requires_grad=True)
+
+
+def _edges(rng, num_rel=5):
+    src = rng.integers(0, NODES, size=EDGES)
+    rel = rng.integers(0, num_rel, size=EDGES)
+    dst = rng.integers(0, NODES, size=EDGES)
+    return src, rel, dst
+
+
+def _run(build_and_apply, fast):
+    """Build modules/inputs from a fixed seed, run, backprop sum^2."""
+    clear_perf_caches()
+    if fast:
+        return build_and_apply()
+    with legacy_kernels():
+        return build_and_apply()
+
+
+def _assert_parity(build_and_apply, grad_atol=1e-5):
+    out_fast, grads_fast = _run(build_and_apply, fast=True)
+    out_legacy, grads_legacy = _run(build_and_apply, fast=False)
+    np.testing.assert_array_equal(out_fast, out_legacy)
+    assert set(grads_fast) == set(grads_legacy)
+    for name in grads_fast:
+        np.testing.assert_allclose(grads_fast[name], grads_legacy[name],
+                                   rtol=1e-5, atol=grad_atol,
+                                   err_msg=f"grad mismatch for {name}")
+
+
+def _backward_sq(out):
+    (out * out).sum().backward()
+
+
+def _module_grads(module, inputs):
+    grads = {name: p.grad.copy()
+             for name, p in module.named_parameters() if p.grad is not None}
+    for i, t in enumerate(inputs):
+        if t.grad is not None:
+            grads[f"input{i}"] = t.grad.copy()
+    return grads
+
+
+class TestGraphLayers:
+    @pytest.mark.parametrize("training", [False, True])
+    def test_rgcn_stack(self, training):
+        def build():
+            rng = np.random.default_rng(SEED)
+            net = RGCN(DIM, 2, rng)
+            net.train() if training else net.eval()
+            h = _tensor(rng, (NODES, DIM))
+            r = _tensor(rng, (5, DIM))
+            out = net(h, r, *_edges(rng))
+            _backward_sq(out)
+            return out.data.copy(), _module_grads(net, [h, r])
+        _assert_parity(build)
+
+    @pytest.mark.parametrize("composition", ["sub", "mult"])
+    def test_compgcn_stack(self, composition):
+        def build():
+            rng = np.random.default_rng(SEED)
+            net = CompGCN(DIM, 2, rng, composition=composition)
+            net.train()
+            h = _tensor(rng, (NODES, DIM))
+            r = _tensor(rng, (5, DIM))
+            out = net(h, r, *_edges(rng))
+            _backward_sq(out)
+            return out.data.copy(), _module_grads(net, [h, r])
+        _assert_parity(build)
+
+
+class TestRecurrentAndTime:
+    def test_gru_step(self):
+        def build():
+            rng = np.random.default_rng(SEED)
+            cell = GRUCell(DIM, DIM, rng)
+            x = _tensor(rng, (NODES, DIM))
+            h = _tensor(rng, (NODES, DIM))
+            out = cell(x, h)
+            _backward_sq(out)
+            return out.data.copy(), _module_grads(cell, [x, h])
+        _assert_parity(build)
+
+    def test_time_fuse(self):
+        def build():
+            rng = np.random.default_rng(SEED)
+            enc = TimeEncoding(DIM, 4, rng)
+            h = _tensor(rng, (NODES, DIM))
+            out = enc(h, interval=3)
+            _backward_sq(out)
+            return out.data.copy(), _module_grads(enc, [h])
+        _assert_parity(build)
+
+
+class TestAttention:
+    def test_query_key(self):
+        def build():
+            rng = np.random.default_rng(SEED)
+            builder = QueryKeyBuilder(DIM, rng)
+            base = _tensor(rng, (NODES, DIM))
+            rels = _tensor(rng, (5, DIM))
+            qs = rng.integers(0, NODES, size=9)
+            qr = rng.integers(0, 5, size=9)
+            out = builder(base, rels, qs, qr)
+            _backward_sq(out)
+            return out.data.copy(), _module_grads(builder, [base, rels])
+        _assert_parity(build)
+
+    def test_query_key_empty_queries(self):
+        def build():
+            rng = np.random.default_rng(SEED)
+            builder = QueryKeyBuilder(DIM, rng)
+            base = _tensor(rng, (NODES, DIM))
+            rels = _tensor(rng, (5, DIM))
+            empty = np.zeros(0, dtype=np.int64)
+            out = builder(base, rels, empty, empty)
+            _backward_sq(out)
+            return out.data.copy(), _module_grads(builder, [base, rels])
+        _assert_parity(build)
+
+    def test_local_attention_additive(self):
+        def build():
+            rng = np.random.default_rng(SEED)
+            attn = LocalEntityAwareAttention(DIM, rng)
+            evolved = _tensor(rng, (NODES, DIM))
+            aggs = [_tensor(rng, (NODES, DIM)) for _ in range(3)]
+            key = _tensor(rng, (NODES, DIM))
+            out = attn(evolved, aggs, key)
+            _backward_sq(out)
+            return out.data.copy(), _module_grads(attn, [evolved, key] + aggs)
+        _assert_parity(build)
+
+    def test_global_gate(self):
+        def build():
+            rng = np.random.default_rng(SEED)
+            gate = GlobalEntityAwareAttention(DIM, rng)
+            agg = _tensor(rng, (NODES, DIM))
+            key = _tensor(rng, (NODES, DIM))
+            out = gate(agg, key)
+            _backward_sq(out)
+            return out.data.copy(), _module_grads(gate, [agg, key])
+        _assert_parity(build)
+
+
+class TestDecoder:
+    @pytest.mark.parametrize("training", [False, True])
+    def test_convtranse(self, training):
+        def build():
+            rng = np.random.default_rng(SEED)
+            dec = ConvTransE(DIM, rng, num_kernels=4)
+            dec.train() if training else dec.eval()
+            subj = _tensor(rng, (9, DIM))
+            rel = _tensor(rng, (9, DIM))
+            cand = _tensor(rng, (NODES, DIM))
+            out = dec(subj, rel, cand)
+            _backward_sq(out)
+            return out.data.copy(), _module_grads(dec, [subj, rel, cand])
+        _assert_parity(build)
+
+    def test_forward_indexed_matches_gather_then_forward(self):
+        """The folded-gather path == index_select + forward, bitwise."""
+        def build(indexed):
+            clear_perf_caches()
+            rng = np.random.default_rng(SEED)
+            dec = ConvTransE(DIM, rng, num_kernels=4)
+            dec.train()
+            ent = _tensor(rng, (NODES, DIM))
+            rels = _tensor(rng, (5, DIM))
+            cand = _tensor(rng, (NODES, DIM))
+            si = rng.integers(0, NODES, size=9)
+            ri = rng.integers(0, 5, size=9)
+            if indexed:
+                out = dec.forward_indexed(ent, rels, cand, si, ri)
+            else:
+                out = dec(index_select(ent, si), index_select(rels, ri), cand)
+            _backward_sq(out)
+            return out.data.copy(), _module_grads(dec, [ent, rels, cand])
+        out_idx, grads_idx = build(True)
+        out_ref, grads_ref = build(False)
+        np.testing.assert_array_equal(out_idx, out_ref)
+        for name in grads_ref:
+            np.testing.assert_allclose(grads_idx[name], grads_ref[name],
+                                       rtol=1e-5, atol=1e-6, err_msg=name)
+
+
+class TestLossKernels:
+    def test_query_contrast(self):
+        def build():
+            rng = np.random.default_rng(SEED)
+            contrast = QueryContrastModule(DIM, rng, temperature=0.1)
+            local = _tensor(rng, (NODES, DIM))
+            rels = _tensor(rng, (5, DIM))
+            glob = _tensor(rng, (NODES, DIM))
+            rels0 = _tensor(rng, (5, DIM))
+            qs = rng.integers(0, NODES, size=9)
+            qr = rng.integers(0, 5, size=9)
+            from repro.perf import FLAGS
+            if FLAGS.fused_kernels:
+                loss = contrast.fused_loss(local, rels, glob, rels0, qs, qr)
+            else:
+                z_l = contrast.project_local(local, rels, qs, qr)
+                z_g = contrast.project_global(glob, rels0, qs, qr)
+                loss = contrast(z_l, z_g)
+            loss.backward()
+            return loss.data.copy(), _module_grads(
+                contrast, [local, rels, glob, rels0])
+        _assert_parity(build)
+
+    def test_query_contrast_single_query_is_zero(self):
+        rng = np.random.default_rng(SEED)
+        contrast = QueryContrastModule(DIM, rng, temperature=0.1)
+        loss = contrast.fused_loss(
+            _tensor(rng, (NODES, DIM)), _tensor(rng, (5, DIM)),
+            _tensor(rng, (NODES, DIM)), _tensor(rng, (5, DIM)),
+            np.array([3]), np.array([1]))
+        assert float(loss.data) == 0.0
+
+    def test_multilabel_loss(self):
+        rng = np.random.default_rng(SEED)
+        logits_data = rng.standard_normal((9, NODES)).astype(np.float32)
+        labels = (rng.random((9, NODES)) < 0.2).astype(np.float32)
+        labels[:, 0] = 1.0  # every row has at least one positive
+        a = Tensor(logits_data.copy(), requires_grad=True)
+        fused = fused_multilabel_loss(a, labels)
+        fused.backward()
+        b = Tensor(logits_data.copy(), requires_grad=True)
+        with legacy_kernels():
+            legacy = F.multilabel_soft_loss(b, labels)
+        legacy.backward()
+        np.testing.assert_array_equal(fused.data, legacy.data)
+        np.testing.assert_allclose(a.grad, b.grad, rtol=1e-6, atol=1e-7)
+
+    def test_blend(self):
+        rng = np.random.default_rng(SEED)
+        x = rng.standard_normal((NODES, DIM)).astype(np.float32)
+        y = rng.standard_normal((NODES, DIM)).astype(np.float32)
+        a1, b1 = Tensor(x.copy(), True), Tensor(y.copy(), True)
+        out = fused_blend(a1, b1, 0.9)
+        _backward_sq(out)
+        a2, b2 = Tensor(x.copy(), True), Tensor(y.copy(), True)
+        ref = a2 * 0.9 + b2 * (1.0 - 0.9)
+        _backward_sq(ref)
+        np.testing.assert_array_equal(out.data, ref.data)
+        np.testing.assert_allclose(a1.grad, a2.grad, rtol=1e-6, atol=1e-7)
+        np.testing.assert_allclose(b1.grad, b2.grad, rtol=1e-6, atol=1e-7)
+
+
+class TestModelLevel:
+    """Whole-model parity on real batches: every fused op at once."""
+
+    @staticmethod
+    def _config():
+        return LogCLConfig(dim=16, time_dim=8, window=3, seed=0,
+                           temperature=0.1, decoder_kernels=4)
+
+    def _losses_and_grads(self, fast, joint, num_batches=3):
+        clear_perf_caches()
+        ds = icews14_like()
+        model = LogCL(self._config(), ds.num_entities, ds.num_relations)
+        model.train()
+        ctx = HistoryContext(ds, 3)
+        iterator = (iter_joint_timestep_batches if joint
+                    else iter_timestep_batches)
+
+        def run():
+            losses = []
+            for i, batch in enumerate(iterator(ds, "train", ctx)):
+                if i >= num_batches:
+                    break
+                model.zero_grad()
+                loss = model.loss_on(batch)
+                loss.backward()
+                losses.append(float(loss.data))
+            grads = {n: p.grad.copy() for n, p in model.named_parameters()
+                     if p.grad is not None}
+            return losses, grads
+
+        if fast:
+            return run()
+        with legacy_kernels():
+            return run()
+
+    @pytest.mark.parametrize("joint", [False, True])
+    def test_training_losses_bitwise(self, joint):
+        losses_fast, grads_fast = self._losses_and_grads(True, joint)
+        losses_legacy, grads_legacy = self._losses_and_grads(False, joint)
+        assert losses_fast == losses_legacy
+        for name in grads_legacy:
+            ref = grads_legacy[name]
+            scale = max(float(np.max(np.abs(ref))), 1e-8)
+            np.testing.assert_allclose(grads_fast[name] / scale, ref / scale,
+                                       rtol=0, atol=1e-5, err_msg=name)
+
+    def test_eval_scores_bitwise(self):
+        ds = icews14_like()
+        model = LogCL(self._config(), ds.num_entities, ds.num_relations)
+        model.eval()
+
+        def scores(fast):
+            clear_perf_caches()
+            ctx = HistoryContext(ds, 3)
+            out = []
+            for i, batch in enumerate(iter_timestep_batches(ds, "valid", ctx)):
+                if i >= 4:
+                    break
+                if fast:
+                    out.append(model.predict_on(batch))
+                else:
+                    with legacy_kernels():
+                        out.append(model.predict_on(batch))
+            return out
+
+        for fast_scores, legacy_scores in zip(scores(True), scores(False)):
+            np.testing.assert_array_equal(fast_scores, legacy_scores)
+
+
+class TestJointBatches:
+    def test_joint_batch_is_concatenated_phases(self):
+        ds = icews14_like()
+        ctx = HistoryContext(ds, 3)
+        split_batches = {}
+        for batch in iter_timestep_batches(ds, "train", ctx):
+            split_batches.setdefault(batch.time, {})[batch.phase] = batch
+        ctx.reset()
+        joint_seen = 0
+        for joint in iter_joint_timestep_batches(ds, "train", ctx):
+            assert joint.phase == "joint"
+            pair = split_batches[joint.time]
+            fwd, inv = pair["forward"], pair["inverse"]
+            np.testing.assert_array_equal(
+                joint.subjects, np.concatenate([fwd.subjects, inv.subjects]))
+            np.testing.assert_array_equal(
+                joint.relations,
+                np.concatenate([fwd.relations, inv.relations]))
+            np.testing.assert_array_equal(
+                joint.objects, np.concatenate([fwd.objects, inv.objects]))
+            joint_seen += 1
+        assert joint_seen == len(split_batches)

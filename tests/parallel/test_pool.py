@@ -86,3 +86,49 @@ class TestShardPool:
             with ShardPool(1, shared={"factor": 5}) as inner:
                 assert outer.map(_double, [3]) == [6]
                 assert inner.map(_double, [3]) == [15]
+
+
+class TestEffectiveWorkersTelemetry:
+    """The serial-collapse decision must be observable: a silent
+    degradation is how the 0.53x sharded-eval number hid in plain
+    sight (workers=4 quietly ran serial)."""
+
+    def _fresh(self):
+        from repro.obs import Telemetry
+        return Telemetry("pool-test")
+
+    def test_full_collapse_emits_counter_and_observation(self):
+        from repro.parallel.pool import effective_workers
+        telemetry = self._fresh()
+        granted = effective_workers(4, total_items=10, floor=64,
+                                    telemetry=telemetry)
+        assert granted == 1
+        assert telemetry.counters["parallel_serial_collapse"] == 1
+        assert "parallel_workers_capped" not in telemetry.counters
+        assert telemetry.scalars["parallel_effective_workers"].recent[-1] == 1.0
+
+    def test_partial_cap_emits_capped_counter(self):
+        from repro.parallel.pool import effective_workers
+        telemetry = self._fresh()
+        granted = effective_workers(4, total_items=3 * 64, floor=64,
+                                    telemetry=telemetry)
+        assert granted == 3
+        assert telemetry.counters["parallel_workers_capped"] == 1
+        assert "parallel_serial_collapse" not in telemetry.counters
+        assert telemetry.scalars["parallel_effective_workers"].recent[-1] == 3.0
+
+    def test_granted_request_stays_silent(self):
+        from repro.parallel.pool import effective_workers
+        telemetry = self._fresh()
+        granted = effective_workers(2, total_items=4 * 64, floor=64,
+                                    telemetry=telemetry)
+        assert granted == 2
+        assert "parallel_serial_collapse" not in telemetry.counters
+        assert "parallel_workers_capped" not in telemetry.counters
+
+    def test_serial_request_stays_silent(self):
+        from repro.parallel.pool import effective_workers
+        telemetry = self._fresh()
+        assert effective_workers(1, total_items=5, floor=64,
+                                 telemetry=telemetry) == 1
+        assert "parallel_effective_workers" not in telemetry.scalars
