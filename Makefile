@@ -1,9 +1,10 @@
 # Convenience targets for the LogCL reproduction.
 
 .PHONY: install test test-fast bench bench-table3 serve-bench \
-	serve-daemon-bench eval-bench history-bench train-telemetry-bench \
-	parallel-bench data-bench perf-bench trace-demo experiments \
-	clean-cache docs-test lint lint-private lint-docstrings lint-dtype
+	serve-daemon-bench serve-replica-bench eval-bench history-bench \
+	train-telemetry-bench parallel-bench data-bench perf-bench trace-demo \
+	experiments clean-cache docs-test lint lint-private lint-docstrings \
+	lint-dtype
 
 install:
 	pip install -e .
@@ -25,6 +26,9 @@ serve-bench:  ## serving latency: cached incremental inference vs cold recompute
 
 serve-daemon-bench:  ## daemon under 8 open-loop clients: QPS, p50/p99, shedding
 	pytest benchmarks/test_serving_daemon.py --benchmark-only -s
+
+serve-replica-bench:  ## replica-set router at 1/2/4 replicas: QPS, p50/p99, shared-store proof
+	pytest benchmarks/test_serving_replicas.py --benchmark-only -s
 
 eval-bench:  ## filtered-ranking throughput: batched kernel vs per-query path
 	pytest benchmarks/test_eval_throughput.py --benchmark-only -s
@@ -112,8 +116,20 @@ lint-private:  ## no reaching into GlobalHistoryIndex internals from outside
 		src tests benchmarks examples \
 		--include='*.py' \
 		| grep -v 'src/repro/serving/daemon.py' \
+		| grep -v 'src/repro/serving/replica.py' \
 		| grep -v 'self\._engine' \
 		|| { echo 'daemon-owned engine accessed outside its serialized'\
 		' executor (pass a callable to EngineExecutor.run so every'\
-		' engine touch stays on the single worker thread)'; \
+		' engine touch stays on the single worker thread; replicas own'\
+		' theirs inside repro/serving/replica.py)'; \
+		exit 1; }
+	@! grep -rnE '\._(read_state|delta)\b' \
+		src tests benchmarks examples \
+		--include='*.py' \
+		| grep -v 'src/repro/serving/engine.py' \
+		| grep -v 'self\._' \
+		|| { echo 'engine read/write-split internals accessed outside'\
+		' repro/serving/engine.py (use engine.read_state() for the'\
+		' shareable half and the public advance/restore surface for'\
+		' the mutable half)'; \
 		exit 1; }

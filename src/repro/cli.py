@@ -181,6 +181,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     ``--snapshot`` — graceful-shutdown snapshotting restored on the
     next start (delta-replay for store-file-backed engines).
 
+    ``--listen`` plus ``--replicas N`` (N > 1) serves through the
+    replica-set router instead (:mod:`repro.serving.router`): N worker
+    engines over one shared read state, round-robin reads, all-replica
+    ``advance`` fan-out, and the ``/healthz`` ``/readyz`` ``/stats``
+    HTTP surface on the same port.  Replication wants a store-backed
+    engine — pass ``--store PATH`` (a ``repro.data`` ``.hst`` file) so
+    the replicas share the fact buffer through the page cache instead
+    of each re-ingesting ``--preload`` splits.
+
     The stdin loop ends at EOF (or an ``{"op": "quit"}`` line) and
     prints the serving-stats summary to stderr, keeping stdout pure
     JSONL.
@@ -191,7 +200,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     engine = InferenceEngine.from_checkpoint(
         args.checkpoint, args.model, dataset, window=args.window,
         dim=args.dim, seed=args.seed)
-    if args.preload != "none":
+    if getattr(args, "store", None):
+        count = engine.use_store_file(args.store)
+        print(json.dumps({"ok": True, "op": "use_store",
+                          "path": args.store, "facts_mapped": count,
+                          "time": engine.last_time}), flush=True)
+    elif args.preload != "none":
         splits = {"train": ("train",), "valid": ("train", "valid"),
                   "all": ("train", "valid", "test")}[args.preload]
         count = engine.preload(dataset, splits=splits)
@@ -199,10 +213,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                           "facts_ingested": count,
                           "time": engine.last_time}), flush=True)
 
+    replicas = getattr(args, "replicas", 1)
     if args.listen is not None:
+        host, _, port = args.listen.rpartition(":")
+        if replicas > 1:
+            from .serving.router import RouterConfig, run_router
+
+            return run_router(engine, RouterConfig(
+                host=host or "127.0.0.1", port=int(port),
+                replicas=replicas))
         from .serving.daemon import DaemonConfig, run_daemon
 
-        host, _, port = args.listen.rpartition(":")
         return run_daemon(engine, DaemonConfig(
             host=host or "127.0.0.1", port=int(port),
             max_queue=args.max_queue,
@@ -210,6 +231,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_window_ms=args.batch_window_ms,
             snapshot_path=args.snapshot,
             fuse_queries=args.fuse_queries))
+    if replicas > 1:
+        raise SystemExit("--replicas needs --listen: the stdin loop is "
+                         "single-engine by construction")
 
     stream = args.requests_from or sys.stdin
     for line in stream:
@@ -374,6 +398,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="daemon micro-batch coalescing window")
     p_serve.add_argument("--batch-pending", type=int, default=16,
                          help="daemon micro-batch size trigger (queries)")
+    p_serve.add_argument("--replicas", type=int, default=1, metavar="N",
+                         help="with --listen: serve through the replica-set "
+                              "router (N worker engines over one shared "
+                              "read state) instead of the single daemon")
+    p_serve.add_argument("--store", default=None, metavar="PATH",
+                         help="adopt a repro.data .hst store file as the "
+                              "fact buffer (replaces --preload; replicas "
+                              "share its pages through the OS page cache)")
     p_serve.add_argument("--snapshot", default=None, metavar="PATH",
                          help="engine-state snapshot written on graceful "
                               "daemon shutdown and restored on start")

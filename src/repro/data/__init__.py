@@ -21,7 +21,7 @@ from .ingest import (IngestReport, IngestSpec, convert_directory,
                      export_dataset, ingest_directory, read_quadruple_table)
 from .scale import ScaleConfig, gdelt_scale, generate_scale
 from .storefile import (StoreInfo, map_columns, open_store, read_info,
-                        write_store, write_store_facts)
+                        store_watermark, write_store, write_store_facts)
 
 __all__ = [
     "IngestReport",
@@ -37,6 +37,7 @@ __all__ = [
     "open_store",
     "read_info",
     "read_quadruple_table",
+    "store_watermark",
     "write_store",
     "write_store_facts",
 ]

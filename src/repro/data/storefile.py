@@ -182,6 +182,26 @@ def read_info(path: str) -> StoreInfo:
                      num_relations=num_relations, file_bytes=file_bytes)
 
 
+def store_watermark(path: str) -> Tuple[int, int]:
+    """``(num_snapshots, num_facts)`` from a store file's header.
+
+    The snapshot count is the store's base watermark — the version every
+    replica that opens ``path`` starts from (see
+    :attr:`repro.history.HistoryStore.watermark`).  Header-only: no fact
+    data is touched, so the replica-set handshake stays O(1).
+
+    **Append-safe reopen.**  :func:`read_info` (and therefore this
+    helper and :func:`open_store`) validates ``file_bytes >= expected``
+    rather than strict equality, so a file that gained trailing bytes
+    after the header was written is still readable at its *recorded*
+    watermark — a reader never sees a torn append, it simply stays at
+    the header's snapshot count until a new header is published
+    (``tests/data/test_storefile.py``).
+    """
+    info = read_info(path)
+    return info.num_snapshots, info.num_facts
+
+
 def map_columns(path: str) -> Tuple[StoreInfo, dict]:
     """Memory-map a store file's sections as read-only array views.
 

@@ -61,7 +61,11 @@ class HistoryStore:
         self._snapshots = snapshots
         self._snap_times: List[int] = sorted(snapshots)
         self._raw_chunks: List[np.ndarray] = []   # streaming mode only
+        self._raw_chunk_times: List[int] = []     # aligned with _raw_chunks
         self._streaming = streaming
+        # Snapshots present at construction (mapped or dataset-built);
+        # the watermark counts upward from here as extend() appends.
+        self._base_watermark = len(self._snap_times)
         # Set by repro.data.storefile.open_store for memory-mapped
         # stores: the absolute path of the backing file.  Forked
         # evaluation workers re-open the same file instead of inheriting
@@ -120,6 +124,7 @@ class HistoryStore:
         if self._streaming:
             # Range-validated by the QuadrupleSet construction above.
             self._raw_chunks.append(quads.astype(FACT_DTYPE))
+            self._raw_chunk_times.append(time)
         return augmented
 
     def rewind(self) -> None:
@@ -131,6 +136,46 @@ class HistoryStore:
         ``tests/history/test_store.py``.
         """
         self.index.rewind()
+
+    # -- watermarks ------------------------------------------------------
+    @property
+    def watermark(self) -> int:
+        """Monotonic store version: the total number of snapshots applied.
+
+        Counts the base snapshots present at construction (mapped file
+        sections or the dataset build) plus every :meth:`extend` since.
+        Two stores that applied the same snapshot sequence share the
+        same watermark, which is what the serving replica set handshakes
+        on before answering reads.
+        """
+        return len(self._snap_times)
+
+    @property
+    def base_watermark(self) -> int:
+        """The watermark at construction (mapped/dataset snapshots only)."""
+        return self._base_watermark
+
+    def delta_since(self, watermark: int) -> List[Tuple[int, np.ndarray]]:
+        """The streamed snapshots applied after ``watermark``.
+
+        Returns ``(time, (k, 3) facts)`` pairs in application order —
+        the replayable delta a lagging replica (or a restarted engine)
+        must apply to catch up from ``watermark`` to :attr:`watermark`.
+        Only recorded for streaming stores; asking a non-recording store
+        for a non-empty delta raises.
+        """
+        watermark = int(watermark)
+        if not self._base_watermark <= watermark <= self.watermark:
+            raise ValueError(
+                f"watermark {watermark} outside the recorded range "
+                f"[{self._base_watermark}, {self.watermark}]")
+        if self.watermark - self._base_watermark != len(self._raw_chunks):
+            raise ValueError(
+                "store did not record raw deltas (non-streaming mode); "
+                "delta_since is only available on streaming stores")
+        start = watermark - self._base_watermark
+        return [(self._raw_chunk_times[i], self._raw_chunks[i][:, :3])
+                for i in range(start, len(self._raw_chunks))]
 
     # -- query-time views -----------------------------------------------
     @property

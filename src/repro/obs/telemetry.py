@@ -233,24 +233,32 @@ class Telemetry:
             "scalars": dict(self.scalars),
         }
 
-    def merge_state(self, state: Dict[str, object]) -> None:
+    def merge_state(self, state: Dict[str, object],
+                    prefix: Optional[str] = None) -> None:
         """Fold an :meth:`export_state` snapshot into this registry.
 
         Span and scalar accumulators merge sample-wise
         (:meth:`StageStats.merge`); counters add.  Merging is
         commutative over disjoint shards, so the parent may fold worker
         summaries in any order — metric determinism never depends on it.
-        """
-        for name, stage in state.get("stages", {}).items():
-            self.stages[name].merge(stage)
-        for counter, amount in state.get("counters", {}).items():
-            self.counters[counter] += amount
-        for name, series in state.get("scalars", {}).items():
-            self.scalars[name].merge(series)
 
-    def merge_child(self, child: "Telemetry") -> None:
+        ``prefix`` namespaces every merged name under ``prefix/`` —
+        the serving router folds each replica's stats in as
+        ``replica0/forward`` etc. so the aggregate keeps per-replica
+        attribution instead of blending all workers into one stage.
+        """
+        pre = f"{prefix}/" if prefix else ""
+        for name, stage in state.get("stages", {}).items():
+            self.stages[pre + name].merge(stage)
+        for counter, amount in state.get("counters", {}).items():
+            self.counters[pre + counter] += amount
+        for name, series in state.get("scalars", {}).items():
+            self.scalars[pre + name].merge(series)
+
+    def merge_child(self, child: "Telemetry",
+                    prefix: Optional[str] = None) -> None:
         """Fold another live instance in (in-process convenience form)."""
-        self.merge_state(child.export_state())
+        self.merge_state(child.export_state(), prefix=prefix)
 
     # -- export ---------------------------------------------------------
     def as_dict(self) -> Dict[str, object]:
@@ -301,7 +309,8 @@ class NullTelemetry(Telemetry):
     def observe(self, series: str, value: float) -> None:
         pass
 
-    def merge_state(self, state: Dict[str, object]) -> None:
+    def merge_state(self, state: Dict[str, object],
+                    prefix: Optional[str] = None) -> None:
         # The singleton must stay empty: a merge would make NULL_TELEMETRY
         # accumulate state across unrelated runs.
         pass

@@ -8,21 +8,39 @@ behaviour through :class:`ServingStats`.  For a long-lived service
 surface, :mod:`repro.serving.daemon` runs the engine behind an asyncio
 JSONL-over-TCP server with admission control, windowed cross-client
 micro-batching and snapshot/restore; the request schema lives in
-:mod:`repro.serving.protocol`.  See ``docs/serving.md``.
+:mod:`repro.serving.protocol`.
+
+For read scaling, the engine is a read/write split
+(:class:`ReadState` / :class:`DeltaState`): :mod:`repro.serving.replica`
+spawns N worker processes over one shared read state (one physical copy
+of the mmap-backed store file) and :mod:`repro.serving.router` fronts
+them — round-robin reads, all-ack ``advance`` fan-out, watermark
+consistency handshake, and an HTTP ``/healthz`` / ``/readyz`` /
+``/stats`` surface.  See ``docs/serving.md``.
 """
 
 from . import protocol
 from .batcher import MicroBatcher, PendingBatch, PendingQuery
 from .daemon import (DaemonConfig, DaemonHandle, EngineExecutor,
                      ServingDaemon, run_daemon, serve_in_thread)
-from .engine import InferenceEngine, ServingBatch, filtered_topk_rows
+from .engine import (DeltaState, InferenceEngine, ReadState, ServingBatch,
+                     filtered_topk_rows)
+from .replica import (ForkedReplica, LocalReplica, ReplicaWorker,
+                      fork_replicas_available, start_replica_set)
+from .router import (ReplicaSetRouter, RouterConfig, RouterHandle,
+                     route_in_thread, run_router)
 from .stats import ServingStats, StageStats
 
 __all__ = [
-    "InferenceEngine", "ServingBatch", "filtered_topk_rows",
+    "InferenceEngine", "ReadState", "DeltaState", "ServingBatch",
+    "filtered_topk_rows",
     "MicroBatcher", "PendingQuery", "PendingBatch",
     "ServingStats", "StageStats",
     "ServingDaemon", "DaemonConfig", "DaemonHandle", "EngineExecutor",
     "serve_in_thread", "run_daemon",
+    "ReplicaWorker", "LocalReplica", "ForkedReplica",
+    "fork_replicas_available", "start_replica_set",
+    "ReplicaSetRouter", "RouterConfig", "RouterHandle",
+    "route_in_thread", "run_router",
     "protocol",
 ]

@@ -314,8 +314,15 @@ class ServingDaemon:
         window_s = max(self.config.batch_window_ms, 0.0) / 1000.0
         stash: Optional[object] = None
         while True:
-            job = stash if stash is not None else await self._queue.get()
-            stash = None
+            if stash is not None:
+                job, stash = stash, None
+            else:
+                job = await self._queue.get()
+                # Depth is sampled on dequeue as well as on enqueue
+                # (_answer), so an idle drain records the queue
+                # returning to zero instead of freezing the series at
+                # its high-water mark.
+                self.stats.observe("queue_depth", self._queue.qsize())
             if job is _STOP:
                 break
             if job.request.get("op") != "predict":
@@ -332,6 +339,7 @@ class ServingDaemon:
                     nxt = await asyncio.wait_for(self._queue.get(), timeout)
                 except asyncio.TimeoutError:
                     break
+                self.stats.observe("queue_depth", self._queue.qsize())
                 if nxt is _STOP or nxt.request.get("op") != "predict":
                     stash = nxt
                     break
@@ -346,6 +354,7 @@ class ServingDaemon:
         # still get answered instead of hanging their clients.
         while not self._queue.empty():
             job = self._queue.get_nowait()
+            self.stats.observe("queue_depth", self._queue.qsize())
             if job is _STOP:
                 continue
             await self._run_single(job)

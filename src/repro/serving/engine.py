@@ -26,6 +26,14 @@ clients of one history layer, so their ``window_before`` /
 ``global_edges`` views are asserted bitwise-identical on shared streams
 (``tests/integration/test_history_parity.py``).
 
+Internally the engine is a **read/write split**: the immutable,
+shareable :class:`ReadState` (frozen model parameters + the identity of
+the mmap-backed store file) and the small mutable :class:`DeltaState`
+(post-snapshot facts, filter, horizon).  :meth:`ReadState.spawn` builds
+a replica engine over the same physical read state — the basis of the
+replica-set serving layer (:mod:`repro.serving.replica`,
+:mod:`repro.serving.router`).
+
 Models that expose the incremental-context protocol
 (``precompute_context`` / ``encode_queries`` / ``score_queries``, i.e.
 LogCL) get the cached fast path; every other
@@ -37,6 +45,7 @@ history side, just without local-state reuse.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -88,6 +97,69 @@ def filtered_topk_rows(scores: np.ndarray, subjects: np.ndarray,
     return rows
 
 
+@dataclass(frozen=True)
+class ReadState:
+    """The immutable, shareable half of an :class:`InferenceEngine`.
+
+    Everything N serving replicas can share from one physical copy:
+    the frozen (eval-mode) model parameters, the vocabulary sizes and
+    window length, and the identity of the mmap-backed fact buffer
+    (``store_path`` — replicas re-open the file rather than copying the
+    arrays, so the OS page cache keeps one resident copy).  Nothing
+    here changes after construction; every mutation an ``advance``
+    makes lands in the engine's private :class:`DeltaState` instead.
+
+    :meth:`spawn` is the replica constructor: it builds a fresh engine
+    around this shared state, with its own empty delta and caches.
+    """
+
+    model: object
+    num_entities: int
+    num_relations: int
+    window: int
+    store_path: Optional[str]
+    score_cache_size: int
+    context_cache_size: int
+    # Whether the store file was adopted with its time-aware filter
+    # built (use_store_file's build_filter) — replicas must match.
+    store_filter: bool = True
+
+    def spawn(self) -> "InferenceEngine":
+        """A fresh engine over this shared state (own delta + caches).
+
+        The model object is shared by reference — safe because serving
+        never mutates parameters — and the store file, if any, is
+        re-adopted by path, so the spawned engine's base history is the
+        same physical pages.  Post-snapshot deltas are *not* carried
+        over; the caller replays them (``HistoryStore.delta_since``)
+        to reach the source engine's watermark.
+        """
+        engine = InferenceEngine(
+            self.model, self.num_entities, self.num_relations,
+            window=self.window, score_cache_size=self.score_cache_size,
+            context_cache_size=self.context_cache_size)
+        if self.store_path is not None:
+            engine.use_store_file(self.store_path,
+                                  build_filter=self.store_filter)
+        return engine
+
+
+@dataclass
+class DeltaState:
+    """The small mutable half of an :class:`InferenceEngine`.
+
+    Owns exactly what ``advance`` touches: the history store (whose
+    in-memory tail holds every post-snapshot fact), the time-aware
+    filter, and the ingestion horizon.  Kept deliberately apart from
+    :class:`ReadState` so the read/write split is structural — the
+    replica layer ships deltas between processes, never read state.
+    """
+
+    history: HistoryStore
+    filter: TimeAwareFilter
+    last_time: Optional[int] = None
+
+
 class InferenceEngine:
     """Serves one trained model over an incrementally ingested history.
 
@@ -121,23 +193,90 @@ class InferenceEngine:
                  context_cache_size: int = 4):
         if window < 1:
             raise ValueError("window must be >= 1")
-        self.model = model.eval()
-        self.num_entities = num_entities
-        self.num_relations = num_relations
-        self.window = window
+        self._read_state = ReadState(
+            model=model.eval(), num_entities=num_entities,
+            num_relations=num_relations, window=window, store_path=None,
+            score_cache_size=score_cache_size,
+            context_cache_size=context_cache_size)
+        self._delta = DeltaState(
+            history=HistoryStore.streaming(num_relations),
+            filter=TimeAwareFilter([]))
         self.stats = ServingStats()
-        self.last_time: Optional[int] = None
-        self.history = HistoryStore.streaming(num_relations)
-        self.filter = TimeAwareFilter([])
         self._supports_context = all(
             hasattr(model, method) for method in
             ("precompute_context", "encode_queries", "score_queries"))
         self.cache = ContextCache(telemetry=self.stats,
                                   context_capacity=context_cache_size)
         self._score_cache = LRUCache(score_cache_size)
-        # Absolute path of the mapped backing file once use_store_file
-        # adopted one (None for purely streamed engines).
-        self.store_path: Optional[str] = None
+
+    # -- read/write split ----------------------------------------------
+    # The engine's state is partitioned into the frozen, shareable
+    # ReadState and the private mutable DeltaState; the historical
+    # attribute surface (model, window, history, ...) is preserved as
+    # delegating properties so every pre-split caller keeps working.
+    def read_state(self) -> ReadState:
+        """The immutable shareable half (see :class:`ReadState`)."""
+        return self._read_state
+
+    @property
+    def watermark(self) -> int:
+        """The history store's snapshot count (monotonic version).
+
+        The replica-set consistency token: a replica whose watermark
+        trails the router's is lagging and reports itself unready
+        instead of answering from stale history.
+        """
+        return self._delta.history.watermark
+
+    @property
+    def model(self):
+        """The frozen eval-mode model (shared across replicas)."""
+        return self._read_state.model
+
+    @property
+    def num_entities(self) -> int:
+        """Entity vocabulary size."""
+        return self._read_state.num_entities
+
+    @property
+    def num_relations(self) -> int:
+        """Original-relation vocabulary size (inverses are derived)."""
+        return self._read_state.num_relations
+
+    @property
+    def window(self) -> int:
+        """Local window length ``m`` (paper §III-C)."""
+        return self._read_state.window
+
+    @window.setter
+    def window(self, value: int) -> None:
+        """Rebind the read state with a new window (pre-spawn tuning)."""
+        self._read_state = replace(self._read_state, window=int(value))
+
+    @property
+    def store_path(self) -> Optional[str]:
+        """Absolute path of the mapped backing file (None if streamed)."""
+        return self._read_state.store_path
+
+    @property
+    def history(self) -> HistoryStore:
+        """The mutable history store (base region + streamed tail)."""
+        return self._delta.history
+
+    @property
+    def filter(self) -> TimeAwareFilter:
+        """The time-aware filter over every ingested fact."""
+        return self._delta.filter
+
+    @property
+    def last_time(self) -> Optional[int]:
+        """The latest ingested snapshot timestamp (None while empty)."""
+        return self._delta.last_time
+
+    @last_time.setter
+    def last_time(self, value: Optional[int]) -> None:
+        """Write through to the mutable delta half (restore path)."""
+        self._delta.last_time = value
 
     @property
     def _context_cache(self) -> LRUCache:
@@ -197,9 +336,8 @@ class InferenceEngine:
             raise ValueError(
                 f"store file holds {store.num_relations} relations, "
                 f"engine expects {self.num_relations}")
-        self.history = store
-        self.last_time = store.last_time
-        self.filter = TimeAwareFilter([])
+        self._delta = DeltaState(history=store, filter=TimeAwareFilter([]),
+                                 last_time=store.last_time)
         info, arrays = map_columns(path)
         if build_filter:
             self.filter.add_facts(np.stack(
@@ -207,7 +345,9 @@ class InferenceEngine:
                 axis=1))
         self.cache.clear()
         self._score_cache.clear()
-        self.store_path = store.backing_path
+        self._read_state = replace(self._read_state,
+                                   store_path=store.backing_path,
+                                   store_filter=build_filter)
         self.stats.incr("facts_ingested", info.num_facts)
         self.stats.incr("snapshots_ingested", info.num_snapshots)
         return info.num_facts
@@ -240,8 +380,10 @@ class InferenceEngine:
             self.filter.add_facts(augmented)
             # Anything cached for a query time beyond the new snapshot now
             # has a stale history; times at or before it are unaffected.
+            # (Score keys are watermark-prefixed, so stale entries could
+            # never be *served* again — this eviction just frees them.)
             self.cache.invalidate_after(time)
-            self._score_cache.evict_if(lambda key: key[0] > time)
+            self._score_cache.evict_if(lambda key: key[1] > time)
             self.last_time = time
             self.stats.incr("facts_ingested", len(arr))
             self.stats.incr("snapshots_ingested")
@@ -313,8 +455,12 @@ class InferenceEngine:
         # subgraph_key folds dtype+length into the key (repro.history
         # .array_key) — the queries above are normalized to int64, but
         # keying through the shared helper keeps every content-addressed
-        # cache in the repo collision-safe by construction.
-        key = subgraph_key(query_time, subjects, relations)
+        # cache in the repo collision-safe by construction.  The store
+        # watermark prefixes the key, so an entry cached before an
+        # advance can never answer a post-advance query: cache validity
+        # is structural, not dependent on the eviction sweep.
+        key = (self.watermark,) + subgraph_key(query_time, subjects,
+                                               relations)
         if memo_enabled:
             cached = self._score_cache.get(key)
             if cached is not None:
@@ -458,12 +604,12 @@ class InferenceEngine:
                 f"{int(meta[1])} relations, engine has "
                 f"{self.num_entities} / {self.num_relations}")
         self.window = int(meta[2])
-        self.last_time = None
-        self.history = HistoryStore.streaming(self.num_relations)
-        self.filter = TimeAwareFilter([])
+        self._delta = DeltaState(
+            history=HistoryStore.streaming(self.num_relations),
+            filter=TimeAwareFilter([]))
         self.cache.clear()
         self._score_cache.clear()
-        self.store_path = None
+        self._read_state = replace(self._read_state, store_path=None)
         if "store_path" in state:
             # Re-adopt the backing file, then replay only the delta the
             # saved engine streamed on top of it.

@@ -14,7 +14,14 @@ documents) dispatches on ``"op"``:
 
 Every request may carry an optional ``"id"`` field, echoed verbatim in
 the response (success or error) so concurrent clients multiplexed over
-one connection can correlate replies.
+one connection can correlate replies.  Error responses always name the
+``"op"`` they belong to (``"<none>"`` when undeterminable), and the
+``advance`` / ``stats`` responses carry the engine's store
+``"watermark"`` — the replica-set consistency token (deterministic for
+a given request trace, so replicated serving stays bitwise-identical
+to the single engine).  The :data:`CONTROL_OPS` names are the
+router→replica control channel and are intentionally *not* part of
+:data:`VALID_OPS`.
 
 Boundary contracts enforced here, before anything reaches the engine:
 
@@ -34,6 +41,7 @@ Boundary contracts enforced here, before anything reaches the engine:
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -49,9 +57,30 @@ _LINE_PREVIEW = 120
 
 VALID_OPS = ("advance", "predict", "rank", "stats", "save")
 
+# Replica control channel (router -> replica worker), deliberately
+# outside VALID_OPS: clients can never address a replica's control
+# surface through the public request schema.
+OP_APPLY = "__apply__"          # apply one advance delta
+OP_WATERMARK = "__watermark__"  # watermark/readiness handshake
+OP_TELEMETRY = "__telemetry__"  # export the replica's ServingStats
+OP_STOP = "__stop__"            # drain and exit the replica loop
+CONTROL_OPS = (OP_APPLY, OP_WATERMARK, OP_TELEMETRY, OP_STOP)
+
+# Best-effort op extraction from a line that failed to parse, so the
+# error payload can still attribute the failure to the intended op.
+_OP_SNIFF = re.compile(r'"op"\s*:\s*"([^"\\]*)"')
+
 
 class RequestError(ValueError):
-    """A malformed serving request (bad JSON, shape, dtype or op)."""
+    """A malformed serving request (bad JSON, shape, dtype or op).
+
+    ``op`` carries the request's (possibly sniffed) op for the error
+    payload — ``"<none>"`` when no op could be determined.
+    """
+
+    def __init__(self, message: str, op: Optional[str] = None):
+        super().__init__(message)
+        self.op = "<none>" if op is None else str(op)
 
 
 def decode_line(line: str) -> Dict[str, Any]:
@@ -60,18 +89,23 @@ def decode_line(line: str) -> Dict[str, Any]:
     Raises :class:`RequestError` (naming the offending line) when the
     line is not valid JSON or decodes to something other than an object
     — a bare ``5`` or ``"x"`` must produce a structured error response,
-    not an ``AttributeError`` from ``request.get``.
+    not an ``AttributeError`` from ``request.get``.  The error carries
+    the offending ``op`` when one is recoverable (sniffed textually from
+    unparseable lines), so multi-op clients can attribute the failure.
     """
     preview = line if len(line) <= _LINE_PREVIEW else \
         line[:_LINE_PREVIEW] + "..."
+    sniffed = _OP_SNIFF.search(line)
+    op_hint = sniffed.group(1) if sniffed else None
     try:
         request = json.loads(line)
     except json.JSONDecodeError as exc:
-        raise RequestError(f"invalid JSON ({exc.msg}) in line {preview!r}")
+        raise RequestError(f"invalid JSON ({exc.msg}) in line {preview!r}",
+                           op=op_hint)
     if not isinstance(request, dict):
         raise RequestError(
             f"request must be a JSON object, got "
-            f"{type(request).__name__} in line {preview!r}")
+            f"{type(request).__name__} in line {preview!r}", op=op_hint)
     return request
 
 
@@ -86,8 +120,19 @@ def with_id(response: Dict[str, Any],
 def error_response(error: object,
                    request: Optional[Dict[str, Any]] = None
                    ) -> Dict[str, Any]:
-    """The structured failure payload (id echoed when known)."""
-    return with_id({"ok": False, "error": str(error)}, request)
+    """The structured failure payload (id echoed when known).
+
+    Always names the ``op`` the failure belongs to: the request's own
+    ``"op"`` when a request dict is known, else the op the raising
+    :class:`RequestError` recovered, else ``"<none>"``.
+    """
+    op = None
+    if isinstance(request, dict) and request.get("op") is not None:
+        op = str(request["op"])
+    if op is None:
+        op = getattr(error, "op", None)
+    return with_id({"ok": False, "op": "<none>" if op is None else op,
+                    "error": str(error)}, request)
 
 
 def fact_array(value: object, name: str,
@@ -179,8 +224,12 @@ def handle_request(engine, request: Dict[str, Any]) -> Dict[str, Any]:
     if op == "advance":
         facts = fact_array(request.get("facts"), "facts", columns=(3, 4))
         count = engine.advance(facts, time=request.get("time"))
+        # The watermark is deterministic for a given request trace
+        # (snapshot count), so single-engine and replica-set serving
+        # return bitwise-identical advance acknowledgements.
         return with_id({"ok": True, "op": op, "time": engine.last_time,
-                        "facts_ingested": count}, request)
+                        "facts_ingested": count,
+                        "watermark": engine.watermark}, request)
     if op == "predict":
         spec = parse_predict(request)
         query_time = spec.resolve_time(engine)
@@ -205,6 +254,7 @@ def handle_request(engine, request: Dict[str, Any]) -> Dict[str, Any]:
                        request)
     if op == "stats":
         return with_id({"ok": True, "op": op,
+                        "watermark": engine.watermark,
                         "stats": engine.stats.as_dict()}, request)
     if op == "save":
         from ..training import save_engine_state

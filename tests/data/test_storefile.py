@@ -146,3 +146,41 @@ class TestOpenStoreParity:
         mapped = open_store(store_path)
         with pytest.raises(ValueError, match="time order"):
             mapped.extend(np.array([[0, 1, 2]]), 0)
+
+
+class TestStoreWatermark:
+    """Header-level watermark + append-safe reopen (replica handshake)."""
+
+    def test_matches_header_and_store(self, dataset, store_path):
+        from repro.data import store_watermark
+        snapshots, facts = store_watermark(store_path)
+        info = read_info(store_path)
+        assert (snapshots, facts) == (info.num_snapshots, info.num_facts)
+        store = open_store(store_path)
+        assert store.base_watermark == snapshots
+        assert store.watermark == snapshots
+
+    def test_append_safe_reopen(self, store_path):
+        """Trailing bytes past the recorded layout never break a reader.
+
+        A writer appending to a live store file grows the byte range
+        first and publishes a new header last; a reader that opens
+        mid-append must see the *recorded* watermark, not an error and
+        not a torn snapshot.
+        """
+        from repro.data import store_watermark
+        before = store_watermark(store_path)
+        with open(store_path, "ab") as handle:
+            handle.write(b"\x00" * 1024)   # unpublished in-flight append
+        assert store_watermark(store_path) == before
+        store = open_store(store_path)
+        assert store.watermark == before[0]
+        info = read_info(store_path)
+        assert info.num_snapshots == before[0]
+
+    def test_truncated_file_still_rejected(self, store_path):
+        info = read_info(store_path)
+        with open(store_path, "r+b") as handle:
+            handle.truncate(info.file_bytes - 8)
+        with pytest.raises(ValueError, match="truncated"):
+            read_info(store_path)

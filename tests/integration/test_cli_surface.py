@@ -139,3 +139,12 @@ class TestBadFlags:
              "--checkpoint", "x.npz"])
         assert args.listen is None
         assert args.fuse_queries is False
+        assert args.replicas == 1 and args.store is None
+
+    def test_serve_replica_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "logcl", "--dataset", "tiny",
+             "--checkpoint", "x.npz", "--listen", "127.0.0.1:0",
+             "--replicas", "4", "--store", "tiny.hst"])
+        assert args.replicas == 4
+        assert args.store == "tiny.hst"

@@ -245,3 +245,39 @@ class TestServingFacade:
     def test_stagestats_importable_from_old_home(self):
         from repro.serving.stats import StageStats as OldStageStats
         assert OldStageStats is StageStats
+
+
+class TestPrefixedMerge:
+    """Namespaced child merging (the router's per-replica telemetry)."""
+
+    def _child(self, spans=1):
+        child = Telemetry("child")
+        for _ in range(spans):
+            with child.span("forward"):
+                pass
+        child.incr("queries_served", 3)
+        child.observe("queue_depth", 2.0)
+        return child
+
+    def test_prefix_namespaces_everything(self):
+        parent = Telemetry("parent")
+        parent.merge_child(self._child(), prefix="replica0")
+        parent.merge_child(self._child(spans=2), prefix="replica1")
+        assert parent.stages["replica0/forward"].count == 1
+        assert parent.stages["replica1/forward"].count == 2
+        assert parent.counters["replica0/queries_served"] == 3
+        assert parent.counters["replica1/queries_served"] == 3
+        assert "forward" not in parent.stages
+        assert parent.scalars["replica0/queue_depth"].count == 1
+
+    def test_no_prefix_keeps_flat_merge(self):
+        parent = Telemetry("parent")
+        parent.merge_child(self._child())
+        parent.merge_child(self._child())
+        assert parent.stages["forward"].count == 2
+        assert parent.counters["queries_served"] == 6
+
+    def test_null_telemetry_accepts_prefix(self):
+        NULL_TELEMETRY.merge_state(self._child().export_state(),
+                                   prefix="replica0")
+        assert not NULL_TELEMETRY.counters

@@ -366,3 +366,104 @@ class TestProtocolOverTheWire:
             assert "queue_wait_ms" in stats["scalars"]
         finally:
             handle.stop()
+
+
+class TestQueueDepthSampling:
+    def test_depth_sampled_on_dequeue_not_just_enqueue(self, dataset):
+        """The series must record the queue draining, not only filling.
+
+        A sequential client leaves depth 1 at every enqueue; only the
+        dequeue-side sample ever sees 0.  Under enqueue-only sampling
+        this renders count == jobs and last == 1.0 — the regression this
+        test pins down is exactly 2 samples per job with the *last* one
+        taken after the consumer pulled the job off (depth back to 0).
+        """
+        handle = serve_in_thread(_engine(dataset, seed=0), DaemonConfig())
+        try:
+            client = Client(handle.address)
+            facts = dataset.test.array
+            jobs = 5
+            for i in range(jobs):
+                ranked = client.request({"op": "rank", "id": i,
+                                         "queries": facts[:2, :3].tolist()})
+                assert ranked["ok"]
+            depth = client.request({"op": "stats"})["stats"]["scalars"][
+                "queue_depth"]
+            client.close()
+            # jobs rank requests + the stats request itself, each sampled
+            # at enqueue (depth 1) and at dequeue (depth 0).
+            assert depth["count"] == 2 * (jobs + 1)
+            assert depth["last"] == 0.0
+            assert depth["max"] >= 1.0
+        finally:
+            handle.stop()
+
+
+class TestSnapshotAdvanceRace:
+    def test_mid_advance_client_neither_doubles_nor_drops(self, dataset,
+                                                          tmp_path):
+        """An advance racing graceful stop() lands exactly 0 or 1 times.
+
+        The client fires an ``advance`` concurrently with ``stop()``.
+        Whatever the interleaving, the snapshot the daemon writes must
+        agree with the acknowledgement the client saw: an acked delta
+        appears in the restarted engine exactly once (watermark base+1,
+        ranks match a reference advanced once), an unacked one not at
+        all (watermark base, ranks match the un-advanced reference).
+        """
+        store_path = str(tmp_path / "history.store")
+        write_store(store_path, dataset)
+        snapshot = str(tmp_path / "race_state.npz")
+
+        engine = InferenceEngine(_model(dataset, seed=0),
+                                 dataset.num_entities, dataset.num_relations,
+                                 window=3)
+        engine.use_store_file(store_path)
+        base, t = engine.watermark, int(engine.next_time)
+        handle = serve_in_thread(engine, DaemonConfig(snapshot_path=snapshot))
+
+        outcome = {}
+
+        def racer():
+            try:
+                client = Client(handle.address)
+                try:
+                    outcome["ack"] = client.request(
+                        {"op": "advance", "facts": [[0, 0, 1]], "time": t})
+                finally:
+                    client.close()
+            except Exception as exc:   # connection torn down mid-stop
+                outcome["refused"] = exc
+
+        thread = threading.Thread(target=racer)
+        thread.start()
+        handle.stop()   # graceful: drains admitted jobs, then snapshots
+        thread.join(60)
+        assert outcome, "racer thread recorded no outcome"
+        acked = bool(outcome.get("ack", {}).get("ok"))
+
+        # Restart from the snapshot and interrogate the watermark.
+        engine2 = InferenceEngine(_model(dataset, seed=0),
+                                  dataset.num_entities, dataset.num_relations,
+                                  window=3)
+        handle2 = serve_in_thread(engine2,
+                                  DaemonConfig(snapshot_path=snapshot))
+        try:
+            assert handle2.daemon.restored_snapshot
+            client = Client(handle2.address)
+            stats = client.request({"op": "stats"})
+            assert stats["watermark"] == base + (1 if acked else 0)
+
+            reference = InferenceEngine(_model(dataset, seed=0),
+                                        dataset.num_entities,
+                                        dataset.num_relations, window=3)
+            reference.use_store_file(store_path)
+            if acked:
+                reference.advance(np.array([[0, 0, 1]]), time=t)
+            query = {"op": "rank", "time": t + 1,
+                     "queries": dataset.test.array[:4, :3].tolist()}
+            assert client.request(query) == \
+                protocol.handle_request(reference, query)
+            client.close()
+        finally:
+            handle2.stop()

@@ -242,3 +242,83 @@ class TestRankQueries:
         scores = engine.predict(subjects, relations, time=t)
         np.testing.assert_array_equal(ranks,
                                       ranks_of_targets(scores, targets))
+
+
+class TestReadWriteSplit:
+    """The engine's ReadState/DeltaState partition (replica substrate)."""
+
+    def test_read_state_is_frozen_and_exposed(self, logcl, dataset):
+        engine = _fresh_engine(logcl, dataset)
+        state = engine.read_state()
+        assert state.model is engine.model
+        assert state.num_relations == dataset.num_relations
+        assert state.store_path is None
+        with pytest.raises(Exception):   # frozen dataclass
+            state.window = 99
+
+    def test_watermark_tracks_snapshots(self, logcl, dataset):
+        engine = InferenceEngine(logcl, dataset.num_entities,
+                                 dataset.num_relations, window=3)
+        assert engine.watermark == 0
+        engine.preload(dataset, splits=("train",))
+        assert engine.watermark == engine.history.num_snapshots
+        before = engine.watermark
+        t = engine.next_time
+        engine.advance(np.array([[0, 0, 1]]), time=t)
+        assert engine.watermark == before + 1
+
+    def test_spawn_replays_to_bitwise_parity(self, logcl, dataset):
+        """A spawned engine + delta replay scores bitwise like the source."""
+        source = _fresh_engine(logcl, dataset)
+        replica = source.read_state().spawn()
+        for t, facts in source.history.delta_since(
+                source.history.base_watermark):
+            replica.advance(facts, time=t)
+        assert replica.watermark == source.watermark
+        t = source.next_time
+        facts = dataset.test.array
+        subjects = facts[:4, 0].copy()
+        relations = facts[:4, 1].copy()
+        a = source.predict(subjects, relations, time=t)
+        b = replica.predict(subjects, relations, time=t)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_from_store_file_shares_path(self, logcl, dataset,
+                                               tmp_path):
+        from repro.data import write_store
+        path = str(tmp_path / "tiny.hst")
+        write_store(path, dataset)
+        source = InferenceEngine(logcl, dataset.num_entities,
+                                 dataset.num_relations, window=3)
+        source.use_store_file(path)
+        replica = source.read_state().spawn()
+        assert replica.store_path == source.store_path
+        assert replica.watermark == source.watermark
+        t = source.next_time
+        facts = dataset.test.array
+        subjects = facts[:4, 0].copy()
+        relations = facts[:4, 1].copy()
+        np.testing.assert_array_equal(
+            source.predict(subjects, relations, time=t),
+            replica.predict(subjects, relations, time=t))
+
+    def test_score_cache_keys_carry_watermark(self, logcl, dataset):
+        """A pre-advance score memo can never answer a post-advance query.
+
+        Validity is structural (the watermark prefixes the key), not a
+        side effect of the eviction sweep: even an advance at a *later*
+        time than the cached query — which the time-based eviction
+        leaves alone — changes the key, so the next predict recomputes.
+        """
+        engine = _fresh_engine(logcl, dataset)
+        facts = dataset.test.array
+        subjects = facts[:3, 0].copy()
+        relations = facts[:3, 1].copy()
+        t = engine.next_time
+        engine.predict(subjects, relations, time=t)
+        assert engine.stats.counters["score_cache_misses"] == 1
+        engine.predict(subjects, relations, time=t)
+        assert engine.stats.counters["score_cache_hits"] == 1
+        engine.advance(np.array([[0, 0, 1]]), time=t)
+        engine.predict(subjects, relations, time=t + 1)
+        assert engine.stats.counters["score_cache_misses"] == 2

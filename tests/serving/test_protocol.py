@@ -81,7 +81,7 @@ class TestIdEcho:
         ok = protocol.handle_request(engine, {"op": "stats", "id": 42})
         assert ok["id"] == 42
         err = protocol.error_response("boom", {"op": "x", "id": "abc"})
-        assert err == {"ok": False, "error": "boom", "id": "abc"}
+        assert err == {"ok": False, "op": "x", "error": "boom", "id": "abc"}
 
     def test_no_id_means_no_id_key(self, served):
         engine, _ = served
@@ -129,3 +129,57 @@ class TestBatchedPredict:
         engine, _ = served
         with pytest.raises(protocol.RequestError, match="advance, predict"):
             protocol.handle_request(engine, {"op": "nope"})
+
+
+class TestErrorOpAttribution:
+    """Error payloads always name the op they belong to (or "<none>")."""
+
+    def test_sniffed_op_survives_broken_json(self):
+        with pytest.raises(protocol.RequestError) as excinfo:
+            protocol.decode_line('{"op": "rank", "queries": [[1, 2, 3')
+        assert excinfo.value.op == "rank"
+        payload = protocol.error_response(excinfo.value)
+        assert payload["op"] == "rank" and payload["ok"] is False
+
+    def test_non_object_line_reports_none(self):
+        with pytest.raises(protocol.RequestError) as excinfo:
+            protocol.decode_line("5")
+        assert excinfo.value.op == "<none>"
+        assert protocol.error_response(excinfo.value)["op"] == "<none>"
+
+    def test_request_op_wins_over_exception(self):
+        payload = protocol.error_response(ValueError("boom"),
+                                          {"op": "advance", "id": 9})
+        assert payload["op"] == "advance" and payload["id"] == 9
+
+    def test_plain_exception_without_request_is_none(self):
+        assert protocol.error_response(ValueError("boom"))["op"] == "<none>"
+
+
+class TestWatermarkFields:
+    """advance/stats responses carry the deterministic store watermark."""
+
+    def test_advance_ack_carries_watermark(self, served):
+        engine, _dataset = served
+        before = engine.watermark
+        ack = protocol.handle_request(
+            engine, {"op": "advance", "facts": [[0, 0, 1]],
+                     "time": engine.next_time})
+        assert ack["ok"] and ack["watermark"] == before + 1
+
+    def test_stats_carries_watermark(self, served):
+        engine, _dataset = served
+        payload = protocol.handle_request(engine, {"op": "stats"})
+        assert payload["watermark"] == engine.watermark
+
+
+class TestControlOps:
+    def test_control_ops_disjoint_from_client_ops(self):
+        assert not set(protocol.CONTROL_OPS) & set(protocol.VALID_OPS)
+        # Dunder-named on purpose: no client schema collision possible.
+        assert all(op.startswith("__") for op in protocol.CONTROL_OPS)
+
+    def test_control_op_is_unknown_to_handle_request(self, served):
+        engine, _dataset = served
+        with pytest.raises(protocol.RequestError, match="unknown op"):
+            protocol.handle_request(engine, {"op": protocol.OP_APPLY})

@@ -1,0 +1,192 @@
+"""Replica workers: shared read state, watermark handshake, parity.
+
+The replica layer's contract: a worker spawned from an engine's
+``ReadState`` (plus its delta replay) answers reads bitwise like the
+source engine, applies ``advance`` deltas only over the control
+channel, and marks itself unready the moment its watermark diverges
+from what the router expects — it must *refuse* reads rather than
+serve stale answers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LogCL, LogCLConfig
+from repro.data import write_store
+from repro.datasets import load_preset
+from repro.serving import (ForkedReplica, InferenceEngine, LocalReplica,
+                           ReplicaWorker, fork_replicas_available,
+                           start_replica_set)
+from repro.serving import protocol
+from repro.serving.replica import dispatch
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_preset("tiny")
+
+
+@pytest.fixture(scope="module")
+def model(dataset):
+    return LogCL(LogCLConfig(dim=16, window=3, seed=0),
+                 dataset.num_entities, dataset.num_relations).eval()
+
+
+@pytest.fixture(scope="module")
+def store_path(dataset, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("store") / "tiny.hst")
+    write_store(path, dataset)
+    return path
+
+
+def _engine(model, dataset, store_path=None):
+    engine = InferenceEngine(model, dataset.num_entities,
+                             dataset.num_relations, window=3)
+    if store_path is not None:
+        engine.use_store_file(store_path)
+    else:
+        engine.preload(dataset, splits=("train",))
+    return engine
+
+
+def _queries(dataset, n=4):
+    facts = dataset.test.array
+    return facts[:n, 0].copy(), facts[:n, 1].copy(), facts[:n, 2].copy()
+
+
+class TestReplicaWorker:
+    def test_reads_match_source_engine_bitwise(self, model, dataset,
+                                               store_path):
+        source = _engine(model, dataset, store_path)
+        worker = ReplicaWorker.from_read_state(source.read_state())
+        s, r, o = _queries(dataset)
+        request = {"op": "rank", "queries": np.stack([s, r, o], 1).tolist(),
+                   "id": 7}
+        assert worker.handle(request) == protocol.handle_request(
+            source, request)
+
+    def test_delta_replay_reaches_source_watermark(self, model, dataset):
+        source = _engine(model, dataset)
+        t = source.next_time
+        source.advance(np.array([[0, 0, 1]]), time=t)
+        history = source.history
+        worker = ReplicaWorker.from_read_state(
+            source.read_state(),
+            deltas=history.delta_since(history.base_watermark))
+        assert worker.watermark == source.watermark
+        s, r, o = _queries(dataset)
+        request = {"op": "rank", "queries": np.stack([s, r, o], 1).tolist(),
+                   "time": int(t) + 1}
+        assert worker.handle(request) == protocol.handle_request(
+            source, request)
+
+    def test_advance_rejected_on_read_surface(self, model, dataset,
+                                              store_path):
+        worker = ReplicaWorker.from_read_state(
+            _engine(model, dataset, store_path).read_state())
+        response = worker.handle({"op": "advance", "facts": [[0, 0, 1]],
+                                  "id": 3})
+        assert response["ok"] is False and response["id"] == 3
+        assert "control channel" in response["error"]
+        assert worker.ready   # a rejected op is not a divergence
+
+    def test_apply_delta_matches_daemon_ack(self, model, dataset,
+                                            store_path):
+        source = _engine(model, dataset, store_path)
+        worker = ReplicaWorker.from_read_state(source.read_state())
+        t = source.next_time
+        request = {"op": "advance", "facts": [[0, 0, 1], [1, 1, 2]],
+                   "time": int(t), "id": 1}
+        expect = worker.watermark + 1
+        ack = worker.apply_delta(request, expect=expect)
+        assert ack == protocol.handle_request(source, request)
+        assert ack["watermark"] == expect and worker.ready
+
+    def test_watermark_gap_marks_unready_and_refuses_reads(
+            self, model, dataset, store_path):
+        worker = ReplicaWorker.from_read_state(
+            _engine(model, dataset, store_path).read_state())
+        status = worker.status(expect=worker.watermark + 1)
+        assert status["ready"] is False
+        s, r, _ = _queries(dataset)
+        response = worker.handle(
+            {"op": "predict", "queries": np.stack([s, r], 1).tolist()})
+        assert response["ok"] is False
+        assert "unready" in response["error"]
+
+    def test_invalid_delta_keeps_replica_ready(self, model, dataset,
+                                               store_path):
+        """Validation failures mutate nothing, so the set stays healthy."""
+        worker = ReplicaWorker.from_read_state(
+            _engine(model, dataset, store_path).read_state())
+        before = worker.watermark
+        bad = {"op": "advance", "facts": [[0, 0]], "time": 999}
+        ack = worker.apply_delta(bad)   # no expect: router decides
+        assert ack["ok"] is False
+        assert worker.watermark == before and worker.ready
+
+
+class TestTransports:
+    def test_local_and_forked_answer_identically(self, model, dataset,
+                                                 store_path):
+        read_state = _engine(model, dataset, store_path).read_state()
+        s, r, o = _queries(dataset)
+        trace = [
+            {"op": "rank", "queries": np.stack([s, r, o], 1).tolist()},
+            {"op": protocol.OP_WATERMARK},
+            {"op": "advance", "facts": [[0, 0, 1]], "time": 998},
+        ]
+        local = LocalReplica(ReplicaWorker.from_read_state(read_state))
+        local_answers = [local.request(m) for m in trace]
+        if not fork_replicas_available():
+            pytest.skip("fork start method unavailable")
+        forked = ForkedReplica(read_state)
+        try:
+            forked_answers = [forked.request(m) for m in trace]
+        finally:
+            forked.close()
+        assert local_answers == forked_answers
+
+    @pytest.mark.skipif(not fork_replicas_available(),
+                        reason="fork start method unavailable")
+    def test_forked_replica_lifecycle(self, model, dataset, store_path):
+        replica = ForkedReplica(
+            _engine(model, dataset, store_path).read_state())
+        try:
+            assert replica.alive() and replica.pid is not None
+            status = replica.request({"op": protocol.OP_WATERMARK})
+            assert status["ok"] and status["ready"]
+        finally:
+            replica.close()
+        assert not replica.alive()
+
+    def test_start_replica_set_shares_one_lock_locally(self, model,
+                                                       dataset, store_path):
+        read_state = _engine(model, dataset, store_path).read_state()
+        replicas = start_replica_set(read_state, 3, prefer_fork=False)
+        assert all(isinstance(r, LocalReplica) for r in replicas)
+        # One shared lock: the model object is shared in-process and its
+        # forward is not thread-safe.
+        assert len({id(r._lock) for r in replicas}) == 1
+        for replica in replicas:
+            replica.close()
+
+    def test_start_replica_set_validates_count(self, model, dataset,
+                                               store_path):
+        read_state = _engine(model, dataset, store_path).read_state()
+        with pytest.raises(ValueError, match="at least one"):
+            start_replica_set(read_state, 0)
+
+
+class TestDispatch:
+    def test_control_ops_route_and_stop_answers(self, model, dataset,
+                                                store_path):
+        worker = ReplicaWorker.from_read_state(
+            _engine(model, dataset, store_path).read_state())
+        tele = dispatch(worker, {"op": protocol.OP_TELEMETRY})
+        assert tele["ok"] and "state" in tele
+        stop = dispatch(worker, {"op": protocol.OP_STOP})
+        assert stop == {"ok": True, "replica": 0, "stopped": True}
+
+    def test_control_ops_not_client_addressable(self):
+        assert not set(protocol.CONTROL_OPS) & set(protocol.VALID_OPS)
