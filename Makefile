@@ -2,9 +2,9 @@
 
 .PHONY: install test test-fast bench bench-table3 serve-bench \
 	serve-daemon-bench serve-replica-bench eval-bench history-bench \
-	train-telemetry-bench parallel-bench data-bench perf-bench trace-demo \
-	experiments clean-cache docs-test lint lint-private lint-docstrings \
-	lint-dtype
+	train-telemetry-bench parallel-bench data-bench perf-bench \
+	anomaly-bench trace-demo experiments clean-cache docs-test lint \
+	lint-private lint-docstrings lint-dtype docs-linkcheck
 
 install:
 	pip install -e .
@@ -48,6 +48,9 @@ data-bench:  ## store-file capacity: ingest facts/s, bytes/fact, eval QPS
 perf-bench:  ## speed pass: >=3x train/eval vs the float64 seed path + parity
 	pytest benchmarks/test_perf_pass.py -s
 
+anomaly-bench:  ## calibrated score op as anomaly detector: ROC-AUC >= 0.85
+	pytest benchmarks/test_anomaly_roc.py --benchmark-only -s
+
 docs-test:  ## executable docs: every fenced python block + every example script
 	PYTHONPATH=src python tools/run_doc_snippets.py
 	PYTHONPATH=src python examples/quickstart.py --epochs 1 --dim 16
@@ -72,8 +75,11 @@ experiments:  ## rebuild EXPERIMENTS.md from benchmarks/results/
 clean-cache:  ## force full retraining of all benchmark models
 	rm -rf benchmarks/.cache benchmarks/results
 
-lint: lint-private lint-docstrings lint-dtype
+lint: lint-private lint-docstrings lint-dtype docs-linkcheck
 	python -m pyflakes src/repro || true
+
+docs-linkcheck:  ## no dead relative links in README.md / docs/*.md
+	python tools/check_links.py
 
 lint-dtype:  ## float32 policy: wide floats only via repro/nn/dtypes.py
 	@! grep -rnE 'np\.float64|astype\(float\)' \

@@ -3,7 +3,9 @@
 from .attention_inspection import (attention_entropy,
                                    format_attention_report,
                                    snapshot_attention)
-from .patterns import (PATTERN_LABELS, format_pattern_table, label_of_record,
+from .patterns import (EVIDENCE_LABELS, PATTERN_LABELS,
+                       attribute_completions, evidence_label,
+                       format_pattern_table, label_of_record,
                        per_pattern_metrics)
 from .statistics import (DatasetStatistics, compute_statistics,
                          format_statistics_table)
@@ -11,6 +13,7 @@ from .statistics import (DatasetStatistics, compute_statistics,
 __all__ = [
     "snapshot_attention", "attention_entropy", "format_attention_report",
     "per_pattern_metrics", "label_of_record", "format_pattern_table",
-    "PATTERN_LABELS",
+    "PATTERN_LABELS", "EVIDENCE_LABELS", "evidence_label",
+    "attribute_completions",
     "DatasetStatistics", "compute_statistics", "format_statistics_table",
 ]

@@ -170,8 +170,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         {"op": "predict", "queries": [[s, r], ...], "topk": 5}
         {"op": "rank", "queries": [[s, r, o], ...], "filtered": true,
          "workers": 1}
+        {"op": "score", "facts": [[s, r, o], ...], "time": 81}
+        {"op": "forecast", "queries": [[s, r], ...], "horizon": 3,
+         "topk": 10}
         {"op": "stats"}
         {"op": "save", "path": "engine_state.npz"}
+
+    ``--calibrate`` fits the ``score`` op's anomaly threshold on the
+    in-stream calibration window (``--calibration-quantile`` /
+    ``--calibration-window``) and turns on the drift telemetry of
+    :mod:`repro.obs.drift`; see ``docs/ops.md``.
 
     With ``--listen host:port`` the loop is replaced by the persistent
     socket daemon (:mod:`repro.serving.daemon`): many concurrent TCP
@@ -200,6 +208,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     engine = InferenceEngine.from_checkpoint(
         args.checkpoint, args.model, dataset, window=args.window,
         dim=args.dim, seed=args.seed)
+    if getattr(args, "calibrate", False):
+        from .serving.ops import CalibrationConfig
+
+        engine.enable_calibration(CalibrationConfig(
+            quantile=args.calibration_quantile,
+            reference_size=args.calibration_window))
     if getattr(args, "store", None):
         count = engine.use_store_file(args.store)
         print(json.dumps({"ok": True, "op": "use_store",
@@ -412,6 +426,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--fuse-queries", action="store_true",
                          help="fuse concurrent single-query predicts into "
                               "one forward (batch-insensitive models only)")
+    p_serve.add_argument("--calibrate", action="store_true",
+                         help="calibrate the score op on the in-stream "
+                              "reference window (enables anomaly flags "
+                              "and drift telemetry; see docs/ops.md)")
+    p_serve.add_argument("--calibration-quantile", type=float, default=0.05,
+                         metavar="Q",
+                         help="anomaly threshold position in the reference "
+                              "score distribution")
+    p_serve.add_argument("--calibration-window", type=int, default=512,
+                         metavar="N",
+                         help="rolling reference window size (scores)")
     p_serve.set_defaults(func=_cmd_serve, requests_from=None)
 
     p_stats = sub.add_parser("stats", help="dataset statistics")

@@ -19,7 +19,8 @@ it matters.  See ``docs/data.md`` for the workflow.
 
 from .ingest import (IngestReport, IngestSpec, convert_directory,
                      export_dataset, ingest_directory, read_quadruple_table)
-from .scale import ScaleConfig, gdelt_scale, generate_scale
+from .scale import (ScaleConfig, gdelt_scale, generate_scale,
+                    inject_corruptions)
 from .storefile import (StoreInfo, map_columns, open_store, read_info,
                         store_watermark, write_store, write_store_facts)
 
@@ -33,6 +34,7 @@ __all__ = [
     "gdelt_scale",
     "generate_scale",
     "ingest_directory",
+    "inject_corruptions",
     "map_columns",
     "open_store",
     "read_info",

@@ -222,3 +222,43 @@ def gdelt_scale(seed: int = 11) -> TKGDataset:
     """GDELT-scale preset: 7200 entities, 240 relations, 366 daily
     snapshots, > 1M deduplicated facts."""
     return generate_scale(ScaleConfig(seed=seed))
+
+
+def inject_corruptions(facts: np.ndarray, fraction: float,
+                       num_entities: int,
+                       seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Corrupt the object of a random fraction of facts; label them.
+
+    The anomaly-detection counterpart of the generators above: given a
+    clean ``(n, 3)`` or ``(n, 4)`` fact array, a ``fraction`` of rows
+    (chosen without replacement, deterministic per ``seed``) get their
+    object column replaced by a *different* uniformly random entity —
+    the standard negative-sampling corruption, here used as ground
+    truth for scoring a served stream.  Returns ``(corrupted, labels)``
+    where ``labels[i]`` is True for rows that were corrupted; the input
+    array is never mutated.
+    """
+    facts = np.asarray(facts)
+    if facts.ndim != 2 or facts.shape[1] not in (3, 4):
+        raise ValueError("facts must be (n, 3) or (n, 4), got "
+                         f"{facts.shape}")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if num_entities < 2:
+        raise ValueError("corruption needs num_entities >= 2 (the "
+                         "replacement must differ from the original)")
+    rng = np.random.default_rng(seed)
+    corrupted = facts.copy()
+    labels = np.zeros(len(facts), dtype=bool)
+    count = int(round(fraction * len(facts)))
+    if not count:
+        return corrupted, labels
+    rows = rng.choice(len(facts), size=count, replace=False)
+    # Shift-past-the-original sampling: draw from [0, n-1) and bump
+    # values >= the true object, so the replacement is uniform over the
+    # other n-1 entities without rejection loops.
+    draws = rng.integers(0, num_entities - 1, size=count)
+    originals = corrupted[rows, 2]
+    corrupted[rows, 2] = draws + (draws >= originals)
+    labels[rows] = True
+    return corrupted, labels

@@ -1,0 +1,199 @@
+"""Model-drift monitoring over in-stream serving scores.
+
+The serving calibration layer (:mod:`repro.serving.ops`) scores every
+fact the engine ingests; this module turns that stream into standing
+drift telemetry.  A :class:`DriftMonitor` freezes the first
+``reference_size`` scores as the **reference window** — the same window
+the anomaly threshold is fit on — and compares the rolling recent
+window against it:
+
+* ``drift/score_shift`` — the two-sample Kolmogorov–Smirnov statistic
+  between the frozen reference and the recent window.  Near 0 while the
+  stream looks like the calibration regime; climbs toward 1 when the
+  score distribution shifts (regime change, upstream corruption, stale
+  model).
+* ``drift/score_mean`` — mean of the recent score window (a cheap
+  directional companion to the KS statistic).
+* ``drift/anomaly_rate`` — fraction of the recent window flagged
+  anomalous by the calibrated threshold.  Under a stationary stream
+  this hovers near the calibration quantile; sustained excursions mean
+  the threshold no longer matches the stream.
+* ``drift/hit_rate/<label>`` and ``drift/hit_decay/<label>`` —
+  per-evidence-pattern rolling hit rate and its decay against the
+  pattern's own baseline (the first ``baseline_size`` observations).
+  Labels are the provenance classes of
+  :data:`repro.analysis.patterns.EVIDENCE_LABELS`, so a decaying
+  ``local+global`` series reads directly as "the paper's repetitive
+  history signal stopped predicting".
+
+Every series is emitted through a :class:`repro.obs.Telemetry`
+registry (the serving engine passes its own ``stats``), so drift
+surfaces wherever request telemetry already does: the ``stats`` op,
+the router's ``/stats`` endpoint (namespaced ``replica<i>/drift/...``)
+and JSONL traces.  Updates ride the **write path** (``advance``), never
+reads, so every replica in a set derives the identical series from the
+identical delta stream.
+
+Monitor state is process-local observability, not engine state: a
+snapshot restart resets the recent windows while the calibration
+reference itself is persisted by the serving layer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+from .telemetry import NULL_TELEMETRY, Telemetry
+
+
+def ks_statistic(reference: np.ndarray, recent: np.ndarray) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic (max ECDF distance).
+
+    The classic distribution-shift measure: 0 when the empirical CDFs
+    coincide, 1 when the samples are fully separated.  Evaluated on the
+    pooled sample grid with ``searchsorted``, so it is exact (not
+    binned) and deterministic for a given pair of windows.
+    """
+    reference = np.sort(np.asarray(reference, dtype=np.float64))
+    recent = np.sort(np.asarray(recent, dtype=np.float64))
+    if not len(reference) or not len(recent):
+        return 0.0
+    grid = np.concatenate([reference, recent])
+    cdf_ref = np.searchsorted(reference, grid, side="right") / len(reference)
+    cdf_rec = np.searchsorted(recent, grid, side="right") / len(recent)
+    return float(np.abs(cdf_ref - cdf_rec).max())
+
+
+class _HitSeries:
+    """Baseline-vs-recent hit tracking for one evidence pattern."""
+
+    __slots__ = ("baseline_total", "baseline_hits", "recent")
+
+    def __init__(self, recent_size: int):
+        self.baseline_total = 0
+        self.baseline_hits = 0
+        self.recent: Deque[float] = deque(maxlen=recent_size)
+
+    def add(self, hit: bool, baseline_size: int) -> None:
+        if self.baseline_total < baseline_size:
+            self.baseline_total += 1
+            self.baseline_hits += int(hit)
+        self.recent.append(float(hit))
+
+    @property
+    def baseline_rate(self) -> float:
+        if not self.baseline_total:
+            return 0.0
+        return self.baseline_hits / self.baseline_total
+
+    @property
+    def recent_rate(self) -> float:
+        if not self.recent:
+            return 0.0
+        return sum(self.recent) / len(self.recent)
+
+
+class DriftMonitor:
+    """Streaming score/hit-rate drift detection over serving telemetry.
+
+    Parameters
+    ----------
+    telemetry:
+        The :class:`repro.obs.Telemetry` registry the scalar series are
+        emitted into (the serving engine passes its ``stats``).
+    reference_size:
+        How many initial scores freeze into the reference window the
+        KS statistic is computed against.
+    recent_size:
+        Length of the rolling recent window (scores, anomaly flags and
+        per-pattern hits all use it).
+    emit_every:
+        Scalar series are emitted once per this many score
+        observations — emission cadence is observation-counted, never
+        wall-clock, so replicas replaying one delta stream emit
+        identical series.
+    baseline_size:
+        Per-pattern hit observations that define each pattern's
+        baseline hit rate (the decay reference).
+    """
+
+    def __init__(self, telemetry: Optional[Telemetry] = None,
+                 reference_size: int = 256, recent_size: int = 128,
+                 emit_every: int = 32, baseline_size: int = 64):
+        if reference_size < 1 or recent_size < 1 or emit_every < 1:
+            raise ValueError("reference_size, recent_size and emit_every "
+                             "must all be >= 1")
+        self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
+        self.reference_size = int(reference_size)
+        self.recent_size = int(recent_size)
+        self.emit_every = int(emit_every)
+        self.baseline_size = int(baseline_size)
+        self._reference: list = []
+        self._recent: Deque[float] = deque(maxlen=recent_size)
+        self._flags: Deque[float] = deque(maxlen=recent_size)
+        self._hits: Dict[str, _HitSeries] = {}
+        self._observed = 0
+
+    # -- observation ----------------------------------------------------
+    @property
+    def reference_full(self) -> bool:
+        """Whether the frozen reference window has finished filling."""
+        return len(self._reference) >= self.reference_size
+
+    def observe_score(self, value: float,
+                      anomalous: Optional[bool] = None) -> None:
+        """Record one in-stream score (and its anomaly flag, if known).
+
+        The first ``reference_size`` scores build the frozen reference;
+        everything after lands in the rolling recent window.  Emission
+        happens on the ``emit_every`` cadence once both windows are
+        populated.
+        """
+        value = float(value)
+        if not self.reference_full:
+            self._reference.append(value)
+        else:
+            self._recent.append(value)
+        if anomalous is not None:
+            self._flags.append(float(bool(anomalous)))
+        self._observed += 1
+        if self._observed % self.emit_every == 0:
+            self.emit()
+
+    def observe_pattern(self, label: str, hit: bool) -> None:
+        """Record one forecast-style hit/miss for one evidence pattern."""
+        series = self._hits.get(label)
+        if series is None:
+            series = self._hits[label] = _HitSeries(self.recent_size)
+        series.add(bool(hit), self.baseline_size)
+
+    # -- emission -------------------------------------------------------
+    def emit(self) -> Dict[str, float]:
+        """Compute and emit every drift series; returns what was emitted.
+
+        Called automatically on the observation cadence; safe to call
+        directly (e.g. a final flush before scraping stats).  Series
+        whose windows are still empty are skipped, never emitted as
+        zeros.
+        """
+        emitted: Dict[str, float] = {}
+        if self.reference_full and self._recent:
+            emitted["drift/score_shift"] = ks_statistic(
+                np.asarray(self._reference), np.asarray(self._recent))
+            emitted["drift/score_mean"] = float(
+                np.mean(np.asarray(self._recent)))
+        if self._flags:
+            emitted["drift/anomaly_rate"] = sum(self._flags) / len(self._flags)
+        for label, series in sorted(self._hits.items()):
+            if not series.recent:
+                continue
+            emitted[f"drift/hit_rate/{label}"] = series.recent_rate
+            if series.baseline_total >= self.baseline_size:
+                emitted[f"drift/hit_decay/{label}"] = (
+                    series.baseline_rate - series.recent_rate)
+        for name, value in emitted.items():
+            self.telemetry.observe(name, value)
+        return emitted

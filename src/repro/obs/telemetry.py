@@ -50,6 +50,7 @@ class StageStats:
     recent: Deque[float] = field(default_factory=lambda: deque(maxlen=_RESERVOIR))
 
     def add(self, seconds: float) -> None:
+        """Record one sample (seconds for spans, raw value for scalars)."""
         self.count += 1
         self.total_s += seconds
         self.min_s = min(self.min_s, seconds)
@@ -153,6 +154,7 @@ class Telemetry:
 
     # -- counters and scalars -------------------------------------------
     def incr(self, counter: str, amount: int = 1) -> None:
+        """Add ``amount`` to a named monotonic counter."""
         self.counters[counter] += amount
 
     def observe(self, series: str, value: float) -> None:
@@ -167,6 +169,7 @@ class Telemetry:
     # -- lifecycle ------------------------------------------------------
     @property
     def uptime_s(self) -> float:
+        """Seconds since construction (or the last :meth:`reset`)."""
         return time.perf_counter() - self._started
 
     def reset(self) -> None:
@@ -301,21 +304,28 @@ class NullTelemetry(Telemetry):
 
     @contextmanager
     def span(self, name: str, nested: bool = True) -> Iterator[None]:
+        """No-op span: yields immediately, records nothing."""
         yield
 
     def incr(self, counter: str, amount: int = 1) -> None:
+        """Discard the increment."""
         pass
 
     def observe(self, series: str, value: float) -> None:
+        """Discard the sample."""
         pass
 
     def merge_state(self, state: Dict[str, object],
                     prefix: Optional[str] = None) -> None:
-        # The singleton must stay empty: a merge would make NULL_TELEMETRY
-        # accumulate state across unrelated runs.
+        """Discard the merge.
+
+        The singleton must stay empty: a merge would make NULL_TELEMETRY
+        accumulate state across unrelated runs.
+        """
         pass
 
     def attach_trace(self, path: str) -> None:
+        """Refuse: tracing needs a real registry to stamp events from."""
         raise RuntimeError("cannot attach a trace to the null telemetry; "
                            "pass a real Telemetry instance instead")
 

@@ -17,6 +17,13 @@ of the mmap-backed store file) and :mod:`repro.serving.router` fronts
 them — round-robin reads, all-ack ``advance`` fan-out, watermark
 consistency handshake, and an HTTP ``/healthz`` / ``/readyz`` /
 ``/stats`` surface.  See ``docs/serving.md``.
+
+On top of prediction, :mod:`repro.serving.ops` adds the fact-level
+serving ops: calibrated ``score`` (likelihood + anomaly flag against an
+empirical-quantile threshold fit on the in-stream calibration window)
+and ``forecast`` (top-k future completions with per-pattern provenance
+through :mod:`repro.analysis.patterns`), with distribution-drift
+telemetry from :class:`repro.obs.DriftMonitor`.  See ``docs/ops.md``.
 """
 
 from . import protocol
@@ -25,6 +32,9 @@ from .daemon import (DaemonConfig, DaemonHandle, EngineExecutor,
                      ServingDaemon, run_daemon, serve_in_thread)
 from .engine import (DeltaState, InferenceEngine, ReadState, ServingBatch,
                      filtered_topk_rows)
+from .ops import (CalibrationConfig, CalibrationState, FactScores,
+                  ScoreCalibrator, anomaly_auc, forecast_response,
+                  score_facts, score_response, softmax_rows)
 from .replica import (ForkedReplica, LocalReplica, ReplicaWorker,
                       fork_replicas_available, start_replica_set)
 from .router import (ReplicaSetRouter, RouterConfig, RouterHandle,
@@ -36,6 +46,9 @@ __all__ = [
     "filtered_topk_rows",
     "MicroBatcher", "PendingQuery", "PendingBatch",
     "ServingStats", "StageStats",
+    "CalibrationConfig", "CalibrationState", "ScoreCalibrator",
+    "FactScores", "score_facts", "score_response", "forecast_response",
+    "anomaly_auc", "softmax_rows",
     "ServingDaemon", "DaemonConfig", "DaemonHandle", "EngineExecutor",
     "serve_in_thread", "run_daemon",
     "ReplicaWorker", "LocalReplica", "ForkedReplica",

@@ -26,7 +26,10 @@ newline-delimited JSON (the exact request schema of
   queries into one forward would change their scores.  For
   batch-composition-insensitive models (per-row decoders like
   DistMult), ``fuse_queries=True`` additionally merges single-query
-  requests at one timestamp into one fused forward;
+  requests at one timestamp into one fused forward.  ``score``
+  requests coalesce under the same window into homogeneous score
+  groups — each fact batch keeps its own forward, but the whole group
+  rides one executor trip;
 * **graceful shutdown + delta restart** — :meth:`ServingDaemon.stop`
   drains the queue, then snapshots the engine through
   :func:`repro.training.save_engine_state`; a daemon started with the
@@ -300,15 +303,21 @@ class ServingDaemon:
                 pass
 
     # -- consumer -------------------------------------------------------
+    # Ops the consumer coalesces into windowed groups.  Groups are
+    # homogeneous — a score never joins a predict group — and ordering
+    # across op kinds is preserved, so the serialized engine still sees
+    # the arrival-order request trace.
+    _BATCHED_OPS = ("predict", "score")
+
     async def _consume(self) -> None:
         """Drain the admitted-request queue in arrival order.
 
-        ``predict`` jobs open a coalescing window: more predicts are
-        gathered until ``batch_max_pending`` queries are pending or the
-        window (``batch_window_ms`` from the first job) closes or a
-        non-predict op arrives (ordering across op kinds is preserved
-        — an ``advance`` never overtakes or gets overtaken by the
-        predicts around it).  Each group is served in one executor
+        ``predict`` and ``score`` jobs open a coalescing window: more
+        same-op jobs are gathered until ``batch_max_pending`` queries
+        are pending or the window (``batch_window_ms`` from the first
+        job) closes or a different op arrives (ordering across op kinds
+        is preserved — an ``advance`` never overtakes or gets overtaken
+        by the reads around it).  Each group is served in one executor
         trip; every other op runs as its own serialized job.
         """
         window_s = max(self.config.batch_window_ms, 0.0) / 1000.0
@@ -325,7 +334,8 @@ class ServingDaemon:
                 self.stats.observe("queue_depth", self._queue.qsize())
             if job is _STOP:
                 break
-            if job.request.get("op") != "predict":
+            group_op = job.request.get("op")
+            if group_op not in self._BATCHED_OPS:
                 await self._run_single(job)
                 continue
             group = [job]
@@ -340,13 +350,17 @@ class ServingDaemon:
                 except asyncio.TimeoutError:
                     break
                 self.stats.observe("queue_depth", self._queue.qsize())
-                if nxt is _STOP or nxt.request.get("op") != "predict":
+                if nxt is _STOP or nxt.request.get("op") != group_op:
                     stash = nxt
                     break
                 group.append(nxt)
                 pending_queries += self._query_count(nxt.request)
-            responses = await self._exec.run(
-                lambda engine: self._serve_predict_group(engine, group))
+            if group_op == "predict":
+                responses = await self._exec.run(
+                    lambda engine: self._serve_predict_group(engine, group))
+            else:
+                responses = await self._exec.run(
+                    lambda engine: self._serve_score_group(engine, group))
             self._resolve(group, responses)
             if stash is _STOP:
                 break
@@ -362,10 +376,13 @@ class ServingDaemon:
     @staticmethod
     def _query_count(request: Dict[str, Any]) -> int:
         queries = request.get("queries")
+        if not isinstance(queries, list):
+            # ``score`` requests carry their work under ``facts``.
+            queries = request.get("facts")
         return len(queries) if isinstance(queries, list) else 1
 
     async def _run_single(self, job: _Job) -> None:
-        """Serve one non-predict job as its own serialized executor trip."""
+        """Serve one non-batched job as its own serialized executor trip."""
         response = await self._exec.run(
             lambda engine: self._handle_job(engine, job))
         self._resolve([job], [response])
@@ -435,6 +452,32 @@ class ServingDaemon:
                      "results": protocol.topk_payload(
                          engine, scores, spec, ticket.time)},
                     job.request)
+        return responses
+
+    def _serve_score_group(self, engine: InferenceEngine,
+                           jobs: List[_Job]) -> List[Dict[str, Any]]:
+        """Answer a coalesced group of score requests in one trip.
+
+        Unlike predicts, score requests are not fused into a shared
+        forward — each fact batch is already one forward inside
+        :func:`repro.serving.ops.score_facts` — so the win here is
+        amortizing the executor handoff: the whole group rides a single
+        serialized trip instead of one per request.
+        """
+        self.stats.incr("score_groups")
+        self.stats.observe("score_group_size", float(len(jobs)))
+        responses: List[Dict[str, Any]] = []
+        with self.stats.span("daemon/score", nested=False):
+            for job in jobs:
+                self.stats.observe(
+                    "queue_wait_ms",
+                    (_time.monotonic() - job.enqueued_s) * 1000.0)
+                try:
+                    responses.append(
+                        protocol.handle_request(engine, job.request))
+                except Exception as exc:
+                    responses.append(protocol.error_response(exc,
+                                                             job.request))
         return responses
 
 

@@ -60,7 +60,8 @@ from ..training.context import TimestepBatch
 from .stats import ServingStats
 
 # Stage names used with ServingStats.time.
-STAGES = ("ingest", "local_state", "subgraph", "forward", "rank")
+STAGES = ("ingest", "local_state", "subgraph", "forward", "rank",
+          "calibrate")
 
 # The serving batch type IS the training batch type: one history surface,
 # one batch carrier (kept under the old name for imports that predate the
@@ -123,6 +124,12 @@ class ReadState:
     # Whether the store file was adopted with its time-aware filter
     # built (use_store_file's build_filter) — replicas must match.
     store_filter: bool = True
+    # Score-calibration config (repro.serving.ops.CalibrationConfig) or
+    # None when the score op serves uncalibrated.  Part of the *read*
+    # state because replicas must calibrate identically: the mutable
+    # rolling window itself is per-engine and rebuilt deterministically
+    # from the delta stream.
+    calibration: Optional[object] = None
 
     def spawn(self) -> "InferenceEngine":
         """A fresh engine over this shared state (own delta + caches).
@@ -132,7 +139,9 @@ class ReadState:
         re-adopted by path, so the spawned engine's base history is the
         same physical pages.  Post-snapshot deltas are *not* carried
         over; the caller replays them (``HistoryStore.delta_since``)
-        to reach the source engine's watermark.
+        to reach the source engine's watermark — with calibration
+        enabled, that replay also rebuilds the identical rolling
+        reference window, since calibration updates ride ``advance``.
         """
         engine = InferenceEngine(
             self.model, self.num_entities, self.num_relations,
@@ -141,6 +150,8 @@ class ReadState:
         if self.store_path is not None:
             engine.use_store_file(self.store_path,
                                   build_filter=self.store_filter)
+        if self.calibration is not None:
+            engine.enable_calibration(self.calibration)
         return engine
 
 
@@ -208,6 +219,34 @@ class InferenceEngine:
         self.cache = ContextCache(telemetry=self.stats,
                                   context_capacity=context_cache_size)
         self._score_cache = LRUCache(score_cache_size)
+        self._calibration = None
+
+    # -- score calibration ----------------------------------------------
+    @property
+    def calibration(self):
+        """The live :class:`repro.serving.ops.CalibrationState` (or None)."""
+        return self._calibration
+
+    def enable_calibration(self, config=None):
+        """Attach in-stream score calibration (the ``score`` op's flag).
+
+        ``config`` is a :class:`repro.serving.ops.CalibrationConfig`
+        (defaults applied when None).  From here on every ``advance``
+        scores its snapshot against pre-advance history, rolls the
+        scores into the calibrator's reference window and feeds the
+        :class:`repro.obs.DriftMonitor` — all on the write path, so
+        calibration state stays bitwise-identical across replicas.  The
+        config becomes part of the immutable read state: spawned
+        replicas re-enable it automatically.  Returns the new state.
+        """
+        # Lazy import: the ops layer sits above the engine.
+        from .ops import CalibrationConfig, CalibrationState
+        if config is None:
+            config = CalibrationConfig()
+        config.validate()
+        self._calibration = CalibrationState(config, telemetry=self.stats)
+        self._read_state = replace(self._read_state, calibration=config)
+        return self._calibration
 
     # -- read/write split ----------------------------------------------
     # The engine's state is partitioned into the frozen, shareable
@@ -376,6 +415,14 @@ class InferenceEngine:
             if time is None:
                 time = 0 if self.last_time is None else self.last_time + 1
             time = int(time)
+            if (self._calibration is not None and self.last_time is not None
+                    and time > self.last_time):
+                # Score the incoming snapshot against pre-advance history
+                # (write-path calibration: replicas replaying this delta
+                # derive the identical reference window).  Skipped for
+                # the very first snapshot (no history to condition on)
+                # and for out-of-order times extend() will reject.
+                self._calibration.ingest(self, arr, time)
             augmented = self.history.extend(arr, time)
             self.filter.add_facts(augmented)
             # Anything cached for a query time beyond the new snapshot now
@@ -490,6 +537,81 @@ class InferenceEngine:
         self.stats.incr("queries_served", len(subjects))
         return scores.copy() if memo_enabled else scores
 
+    def predict_horizon(self, subjects: np.ndarray, relations: np.ndarray,
+                        steps: int = 1) -> np.ndarray:
+        """Scores at the future timestamp ``next_time + steps - 1``.
+
+        The ``forecast`` op's forward: the query timestamp moves
+        ``steps`` past the ingested horizon (so time encodings see the
+        true elapsed gap) while the historical evidence — the local
+        window *and* the global subgraph — stays anchored at
+        :attr:`next_time`.  Between the horizon and the target no facts
+        exist, so the anchored subgraph is exactly the subgraph a
+        genuine query at the target time would see; anchoring just
+        avoids pinning the monotonic history index past ``next_time``,
+        which would poison later ``predict`` calls at nearer times (and
+        would do so on *one* round-robin replica only, breaking replica
+        parity).  ``steps=1`` is exactly :meth:`predict` at
+        ``next_time``.
+        """
+        steps = int(steps)
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        anchor = self.next_time
+        if steps == 1:
+            return self.predict(subjects, relations, time=anchor)
+        subjects = np.ascontiguousarray(subjects, dtype=np.int64)
+        relations = np.ascontiguousarray(relations, dtype=np.int64)
+        if subjects.shape != relations.shape or subjects.ndim != 1:
+            raise ValueError("subjects/relations must be aligned 1-D arrays")
+        if anchor < self.history.index.horizon:
+            raise ValueError(
+                f"queries must advance monotonically in time: the index is "
+                f"already at t={self.history.index.horizon}, "
+                f"asked {anchor}")
+        target = anchor + steps - 1
+
+        memo_enabled = (self._score_cache.capacity > 0
+                        and getattr(self.model, "input_noise_std", 0.0) <= 0.0)
+        # Keyed at the *target* time: the anchored subgraph is
+        # content-identical to the target-time one (no facts in
+        # between), so these entries agree with genuine predicts at the
+        # target and horizons never collide with each other.
+        key = (self.watermark,) + subgraph_key(target, subjects, relations)
+        if memo_enabled:
+            cached = self._score_cache.get(key)
+            if cached is not None:
+                self.stats.incr("score_cache_hits")
+                self.stats.incr("queries_served", len(subjects))
+                return cached.copy()
+        self.stats.incr("score_cache_misses")
+
+        if self._supports_context:
+            def build() -> Dict:
+                with no_grad():
+                    return self.model.precompute_context(
+                        self.window_before(target), target)
+            context = self.cache.context(target, build)
+            edges = self.global_edges(anchor, subjects, relations)
+            with self.stats.time("forward"):
+                with no_grad():
+                    encoded = self.model.encode_queries(context, subjects,
+                                                        relations, edges)
+                    scores = self.model.score_queries(encoded, subjects,
+                                                      relations).data
+        else:
+            batch = TimestepBatch(time=target, subjects=subjects,
+                                  relations=relations, objects=None,
+                                  phase="serving",
+                                  context=_HorizonView(self, anchor))
+            with self.stats.time("forward"):
+                scores = self.model.predict_on(batch)
+
+        if memo_enabled:
+            self._score_cache.put(key, scores)
+        self.stats.incr("queries_served", len(subjects))
+        return scores.copy() if memo_enabled else scores
+
     def predict_topk(self, subject: int, relation: int, k: int = 10,
                      time: Optional[int] = None,
                      filtered: bool = False) -> List[Tuple[int, float]]:
@@ -593,6 +715,11 @@ class InferenceEngine:
         }
         if self.store_path is not None:
             state["store_path"] = np.array(self.store_path)
+        if self._calibration is not None:
+            # The rolling reference window (float64, oldest first): the
+            # piece of calibration state a delta replay cannot rebuild
+            # (scores observed before the snapshot's base watermark).
+            state["calibration"] = self._calibration.calibrator.state_array()
         return state
 
     def restore_state(self, state: Dict[str, np.ndarray]) -> None:
@@ -622,3 +749,43 @@ class InferenceEngine:
         saved_last = int(meta[3])
         if saved_last >= 0 and self.last_time != saved_last:
             self.last_time = saved_last
+        if self._calibration is not None and "calibration" in state:
+            # The persisted window wins over whatever the replay above
+            # re-accumulated: it is the exact reference the saved engine
+            # flagged against (including scores of facts that now live
+            # inside the store file's base region).
+            self._calibration.calibrator.restore(
+                np.asarray(state["calibration"], dtype=np.float64))
+
+
+class _HorizonView:
+    """A history surface for horizon forecasts of non-context models.
+
+    Implements the provider protocol :class:`TimestepBatch` expects
+    (``window_before`` / ``global_edges`` / ``history_index_at`` /
+    ``num_entities``) by delegating to the engine with every *index*
+    access anchored at the ingestion horizon: a batch at the forecast
+    target time reads the same historical evidence a query at the
+    anchor would, without advancing the monotonic index past it.  The
+    local window is served at the requested time — between anchor and
+    target no snapshots exist, so its content matches the anchor's.
+    """
+
+    def __init__(self, engine: "InferenceEngine", anchor: int):
+        self._engine = engine
+        self._anchor = int(anchor)
+
+    def window_before(self, query_time: int) -> List[Snapshot]:
+        return self._engine.window_before(query_time)
+
+    def global_edges(self, query_time: int, subjects: np.ndarray,
+                     relations: np.ndarray
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self._engine.global_edges(self._anchor, subjects, relations)
+
+    def history_index_at(self, query_time: int):
+        return self._engine.history_index_at(self._anchor)
+
+    @property
+    def num_entities(self) -> int:
+        return self._engine.num_entities

@@ -9,6 +9,11 @@ documents) dispatches on ``"op"``:
               "filtered": false, "time": t}``
 ``rank``      ``{"op": "rank", "queries": [[s, r, o], ...],
               "filtered": true, "workers": 1}``
+``score``     ``{"op": "score", "facts": [[s, r, o], ...], "time": t}``
+              — calibrated likelihood + anomaly flag per observed fact
+``forecast``  ``{"op": "forecast", "queries": [[s, r], ...],
+              "horizon": 1, "topk": k, "filtered": false}`` — top-k
+              future completions with per-pattern provenance
 ``stats``     ``{"op": "stats"}``
 ``save``      ``{"op": "save", "path": "engine_state.npz"}``
 
@@ -16,12 +21,14 @@ Every request may carry an optional ``"id"`` field, echoed verbatim in
 the response (success or error) so concurrent clients multiplexed over
 one connection can correlate replies.  Error responses always name the
 ``"op"`` they belong to (``"<none>"`` when undeterminable), and the
-``advance`` / ``stats`` responses carry the engine's store
-``"watermark"`` — the replica-set consistency token (deterministic for
-a given request trace, so replicated serving stays bitwise-identical
-to the single engine).  The :data:`CONTROL_OPS` names are the
-router→replica control channel and are intentionally *not* part of
-:data:`VALID_OPS`.
+``advance`` / ``stats`` / ``score`` / ``forecast`` responses carry the
+engine's store ``"watermark"`` — the replica-set consistency token
+(deterministic for a given request trace, so replicated serving stays
+bitwise-identical to the single engine; a ``forecast`` in particular
+names the watermark it extrapolated *from*, the freshness token a
+consumer checks before acting on a prediction).  The
+:data:`CONTROL_OPS` names are the router→replica control channel and
+are intentionally *not* part of :data:`VALID_OPS`.
 
 Boundary contracts enforced here, before anything reaches the engine:
 
@@ -55,7 +62,8 @@ _FACT_MAX = int(np.iinfo(FACT_DTYPE).max)
 # How much of a malformed line the error message quotes back.
 _LINE_PREVIEW = 120
 
-VALID_OPS = ("advance", "predict", "rank", "stats", "save")
+VALID_OPS = ("advance", "predict", "rank", "score", "forecast", "stats",
+             "save")
 
 # Replica control channel (router -> replica worker), deliberately
 # outside VALID_OPS: clients can never address a replica's control
@@ -252,6 +260,34 @@ def handle_request(engine, request: Dict[str, Any]) -> Dict[str, Any]:
                         "filtered": filtered,
                         "ranks": [round(float(r), 6) for r in ranks]},
                        request)
+    if op == "score":
+        facts = fact_array(request.get("facts"), "facts", columns=(3, 4))
+        time = request.get("time")
+        if facts.shape[1] == 4:
+            stamps = np.unique(facts[:, 3])
+            if len(stamps) > 1:
+                raise RequestError("one score call scores one timestamp; "
+                                   f"got timestamps {stamps.tolist()}",
+                                   op=op)
+            if time is None and len(stamps):
+                time = int(stamps[0])
+        # Lazy import: the ops layer sits above this schema module.
+        from . import ops
+        return with_id(ops.score_response(
+            engine, facts[:, 0], facts[:, 1], facts[:, 2],
+            time=None if time is None else int(time)), request)
+    if op == "forecast":
+        queries = fact_array(request.get("queries"), "queries", columns=(2,))
+        horizon = request.get("horizon", 1)
+        if not isinstance(horizon, int) or isinstance(horizon, bool) \
+                or horizon < 1:
+            raise RequestError(f"horizon must be a positive integer, "
+                               f"got {horizon!r}", op=op)
+        from . import ops
+        return with_id(ops.forecast_response(
+            engine, queries[:, 0], queries[:, 1], horizon=horizon,
+            k=int(request.get("topk", 10)),
+            filtered=bool(request.get("filtered", False))), request)
     if op == "stats":
         return with_id({"ok": True, "op": op,
                         "watermark": engine.watermark,

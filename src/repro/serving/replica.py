@@ -8,10 +8,16 @@ this module turns that into processes.  A **replica** is a worker that
 * spawns its own :class:`InferenceEngine` from the shared read state —
   re-opening the ``.hst`` store by path, so every replica's base fact
   buffer is the same physical pages through the OS page cache;
-* serves the read ops (``predict`` / ``rank`` / ``stats``) through the
-  very same :func:`repro.serving.protocol.handle_request` dispatch the
+* serves the read ops (``predict`` / ``rank`` / ``score`` /
+  ``forecast`` / ``stats``) through the very same
+  :func:`repro.serving.protocol.handle_request` dispatch the
   single-process daemon uses, so replicated responses are
-  bitwise-identical to one engine's for an identical request trace;
+  bitwise-identical to one engine's for an identical request trace.
+  Calibrated scoring stays replica-safe because the calibration
+  window only mutates inside ``advance`` (which every replica
+  applies), never on the round-robin read path — the read state
+  carries the :class:`repro.serving.ops.CalibrationConfig` so each
+  spawned replica rebuilds the identical rolling window;
 * applies ``advance`` deltas it receives over a private **control
   channel** (:data:`repro.serving.protocol.CONTROL_OPS`) — never from
   clients — and tracks the store **watermark** against the value the

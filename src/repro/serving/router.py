@@ -15,14 +15,23 @@ closed):
                detail once the set is degraded;
 ``/stats``     the merged observability payload (per-replica telemetry
                namespaced ``replica<i>/...``, router-level counters
-               under ``router/...``).
+               under ``router/...``) plus ``watermark_age_s`` — seconds
+               since the last successful ``advance`` fan-out (since
+               router start when none has landed yet).  The age field
+               is HTTP-only: the JSONL ``stats`` op stays wall-clock
+               free so traces replay bitwise-identically.
 
 Consistency contract
 --------------------
-* **Reads** (``predict`` / ``rank``) are load-balanced round-robin over
-  *ready* replicas.  Every replica serves them through the daemon's own
-  dispatch over identical history, so responses are bitwise-identical
-  to a single engine's — whichever replica answers.
+* **Reads** (``predict`` / ``rank`` / ``score`` / ``forecast``) are
+  load-balanced round-robin over *ready* replicas.  Every replica
+  serves them through the daemon's own dispatch over identical history
+  — and, when calibration is enabled, an identical calibration window,
+  because calibration only mutates on the ``advance`` write path that
+  fans out to every replica — so responses are bitwise-identical to a
+  single engine's, whichever replica answers.  A ``forecast`` response
+  carries the watermark it was computed at, so a client can tell a
+  pre-advance forecast from a post-advance one.
 * **Writes** (``advance``) take the exclusive side of a reader/writer
   lock and fan out to *every* replica; the client is acknowledged only
   after all replicas ack, with the identical (deterministic,
@@ -43,6 +52,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time as _time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
@@ -132,6 +142,10 @@ class ReplicaSetRouter:
         history = engine.history
         self._deltas = history.delta_since(history.base_watermark)
         self._watermark = history.watermark
+        # Freshness baseline for /stats watermark age: starts at
+        # construction so a router that never advanced reports age
+        # since it came up, not a null.
+        self._last_advance_s = _time.monotonic()
         self.stats = ServingStats()
         self._replicas: List[object] = []
         self._ready: List[bool] = []
@@ -262,6 +276,7 @@ class ReplicaSetRouter:
             acked = [bool(r.get("ok")) for r in results]
             if all(acked):
                 self._watermark += 1
+                self._last_advance_s = _time.monotonic()
                 return results[0]
             if not any(acked):
                 # Uniform rejection: no replica mutated (advance
@@ -276,6 +291,7 @@ class ReplicaSetRouter:
             # failure: advance is not idempotent, so the client must
             # not blindly retry.
             self._watermark += 1
+            self._last_advance_s = _time.monotonic()
             self.stats.incr("advance_partial_failures")
             for i, ok in enumerate(acked):
                 if ok:
@@ -432,7 +448,12 @@ class ReplicaSetRouter:
                 "ok": ready, "watermark": self._watermark,
                 "replicas": rows}
         if target == "/stats":
-            return 200, await self._merged_stats()
+            payload = await self._merged_stats()
+            # Wall-clock freshness lives only on the HTTP surface: the
+            # JSONL stats op stays deterministic for trace parity.
+            payload["watermark_age_s"] = round(
+                _time.monotonic() - self._last_advance_s, 3)
+            return 200, payload
         return 404, {"ok": False,
                      "error": f"unknown path {target!r}; "
                      "try /healthz /readyz /stats"}

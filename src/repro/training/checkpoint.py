@@ -44,7 +44,7 @@ def load_checkpoint(model: Module, path: str) -> Dict[str, Any]:
 # -- serving-engine state --------------------------------------------------
 
 _ENGINE_KEYS = ("__metadata__", "__serving_facts__", "__serving_meta__",
-                "__serving_store__")
+                "__serving_store__", "__serving_calibration__")
 
 
 def save_engine_state(engine, path: str,
@@ -69,6 +69,10 @@ def save_engine_state(engine, path: str,
     payload["__serving_meta__"] = serving["meta"]
     if "store_path" in serving:
         payload["__serving_store__"] = serving["store_path"]
+    if "calibration" in serving:
+        # The score calibrator's rolling reference window: restart must
+        # flag anomalies against the same threshold as the live engine.
+        payload["__serving_calibration__"] = serving["calibration"]
     payload["__metadata__"] = np.frombuffer(
         json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8)
     os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
@@ -94,6 +98,8 @@ def load_engine_state(engine, path: str) -> Dict[str, Any]:
                    "meta": archive["__serving_meta__"]}
         if "__serving_store__" in archive.files:
             serving["store_path"] = archive["__serving_store__"]
+        if "__serving_calibration__" in archive.files:
+            serving["calibration"] = archive["__serving_calibration__"]
     engine.model.load_state_dict(params)
     engine.model.eval()
     engine.restore_state(serving)

@@ -148,6 +148,61 @@ class TestConcurrentParity:
             thread.join(60)
         assert responses == expected
 
+    def test_score_parity_bitwise_and_grouped(self, dataset):
+        """Concurrent score requests coalesce yet match the serial engine.
+
+        Score groups are homogeneous micro-batches: each fact batch
+        keeps its own forward, so a calibrated daemon's responses must
+        equal the serial engine's digit-for-digit while the stats show
+        the executor trips were amortized (``score_groups`` <= requests
+        under a wide-open coalescing window).
+        """
+        from repro.serving import CalibrationConfig
+
+        def calibrated(seed=0):
+            engine = _engine(dataset, seed=seed, preload=None)
+            engine.enable_calibration(CalibrationConfig(
+                quantile=0.2, reference_size=64, min_samples=1))
+            engine.preload(dataset, splits=("train",))
+            return engine
+
+        served, serial = calibrated(), calibrated()
+        handle = serve_in_thread(served, DaemonConfig(
+            max_queue=256, batch_max_pending=64, batch_window_ms=50.0))
+        try:
+            t = serial.next_time
+            facts = dataset.valid.array
+            requests = [{"op": "score", "id": i, "time": int(t),
+                         "facts": facts[i:i + 3, :3].tolist()}
+                        for i in range(8)]
+            expected = {r["id"]: protocol.handle_request(serial, r)
+                        for r in requests}
+            assert all(row["anomalous"] is not None
+                       for r in expected.values() for row in r["results"])
+            responses = {}
+
+            def run(request):
+                client = Client(handle.address)
+                try:
+                    responses[request["id"]] = client.request(request)
+                finally:
+                    client.close()
+
+            threads = [threading.Thread(target=run, args=(r,))
+                       for r in requests]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60)
+            assert responses == expected
+            stats = Client(handle.address)
+            payload = stats.request({"op": "stats"})
+            stats.close()
+            counters = payload["stats"]["counters"]
+            assert 1 <= counters["score_groups"] <= len(requests)
+        finally:
+            handle.stop()
+
     def test_fused_singles_parity_on_batch_insensitive_model(self, dataset):
         """fuse_queries merges single-query requests into one forward.
 

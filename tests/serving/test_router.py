@@ -17,7 +17,8 @@ import pytest
 from repro import LogCL, LogCLConfig
 from repro.data import write_store
 from repro.datasets import load_preset
-from repro.serving import (DaemonConfig, InferenceEngine, RouterConfig,
+from repro.serving import (CalibrationConfig, DaemonConfig,
+                           InferenceEngine, RouterConfig,
                            fork_replicas_available, route_in_thread,
                            serve_in_thread)
 from repro.serving import protocol
@@ -40,6 +41,12 @@ def _engine(dataset, store_path, seed=0):
                   dataset.num_entities, dataset.num_relations).eval()
     engine = InferenceEngine(model, dataset.num_entities,
                              dataset.num_relations, window=3)
+    # Calibration rides the read state, so spawned replicas re-enable
+    # it and rebuild the identical window from the delta stream —
+    # min_samples=1 makes the trace's single advance enough to arm
+    # anomaly flags on the post-advance score request.
+    engine.enable_calibration(CalibrationConfig(
+        quantile=0.2, reference_size=32, min_samples=1))
     engine.use_store_file(store_path)
     return engine
 
@@ -65,7 +72,13 @@ class Client:
 
 
 def _trace(dataset, t):
-    """Reads, an advance, then post-advance reads (+ error paths)."""
+    """Reads, an advance, then post-advance reads (+ error paths).
+
+    The score/forecast pairs bracket the advance: the pre-advance score
+    sees a cold calibrator (null flags), the post-advance one sees the
+    window the fan-out rolled on *every* replica — so equality across
+    daemon/router/serial proves calibration itself is replica-safe.
+    """
     facts = dataset.valid.array
     snapshot = facts[facts[:, 3] == t]
     if not len(snapshot):
@@ -74,24 +87,45 @@ def _trace(dataset, t):
         {"op": "rank", "queries": facts[:4, :3].tolist(), "id": "r1"},
         {"op": "predict", "queries": facts[:3, :2].tolist(), "topk": 5,
          "filtered": True, "id": "p1"},
+        {"op": "score", "facts": facts[:4, :3].tolist(),
+         "time": int(t), "id": "s1"},
+        {"op": "forecast", "queries": facts[:3, :2].tolist(),
+         "horizon": 2, "topk": 5, "id": "f1"},
         {"op": "advance", "facts": snapshot[:, :3].tolist(),
          "time": int(t), "id": "a1"},
         {"op": "rank", "queries": facts[:4, :3].tolist(),
          "time": int(t) + 1, "id": "r2"},
         {"op": "predict", "queries": facts[:2, :2].tolist(),
          "time": int(t) + 1, "id": "p2"},
+        {"op": "score", "facts": facts[:4, :3].tolist(),
+         "time": int(t) + 1, "id": "s2"},
+        {"op": "forecast", "queries": facts[:2, :2].tolist(),
+         "horizon": 3, "topk": 4, "id": "f2"},
         {"op": "advance", "facts": [[0, 0]], "time": int(t) + 1,
          "id": "bad-shape"},
         {"op": "advance", "facts": [[0, 0, 1]], "time": int(t) - 5,
          "id": "bad-time"},
+        {"op": "score", "facts": [[0, 0, 1, 3], [0, 0, 1, 4]],
+         "id": "bad-score"},
+        {"op": "forecast", "queries": [[0, 0]], "horizon": 0,
+         "id": "bad-horizon"},
         {"op": "nope", "id": "bad-op"},
         {"op": "rank", "queries": facts[4:7, :3].tolist(),
          "time": int(t) + 1, "id": "r3"},
     ]
 
 
+def _serial_response(engine, request):
+    """What a bare engine answers — the daemon's exact dispatch."""
+    try:
+        return protocol.handle_request(engine, request)
+    except Exception as exc:
+        return protocol.error_response(exc, request)
+
+
 def _parity_roundtrip(dataset, store_path, prefer_fork, replicas=2):
     served = _engine(dataset, store_path)
+    serial = _engine(dataset, store_path)
     router = route_in_thread(served, RouterConfig(
         replicas=replicas, prefer_fork=prefer_fork))
     daemon = serve_in_thread(_engine(dataset, store_path), DaemonConfig())
@@ -100,7 +134,9 @@ def _parity_roundtrip(dataset, store_path, prefer_fork, replicas=2):
         t = served.next_time
         for request in _trace(dataset, t):
             a, b = rc.request(request), dc.request(request)
+            c = _serial_response(serial, request)
             assert a == b, f"divergence on {request.get('id')}: {a} != {b}"
+            assert b == c, f"divergence on {request.get('id')}: {b} != {c}"
         rc.close(), dc.close()
     finally:
         router.stop()
@@ -259,6 +295,42 @@ class TestHTTPSurface:
                            and k.startswith("replica")]
             assert len(per_replica) == 2   # attribution preserved
             assert len(payload["replicas"]) == 2
+        finally:
+            router.stop()
+
+    def test_stats_reports_watermark_age(self, dataset, store_path):
+        """/stats carries seconds-since-last-advance; an advance resets it.
+
+        The age field is HTTP-only — the JSONL ``stats`` op must stay
+        wall-clock free so request traces replay bitwise-identically.
+        """
+        served = _engine(dataset, store_path)
+        router = route_in_thread(served, RouterConfig(replicas=1,
+                                                      prefer_fork=False))
+        try:
+            host, port = router.address
+
+            def http_stats():
+                with urllib.request.urlopen(
+                        f"http://{host}:{port}/stats", timeout=30) as resp:
+                    return json.loads(resp.read())
+
+            first = http_stats()
+            assert first["watermark_age_s"] >= 0.0  # age since start
+            client = Client(router.address)
+            jsonl_stats = client.request({"op": "stats"})
+            assert "watermark_age_s" not in jsonl_stats
+            import time
+            time.sleep(0.05)
+            aged = http_stats()["watermark_age_s"]
+            assert aged >= 0.05
+            facts = dataset.valid.array
+            ack = client.request({"op": "advance",
+                                  "facts": facts[:2, :3].tolist(),
+                                  "time": int(served.next_time)})
+            assert ack["ok"]
+            assert http_stats()["watermark_age_s"] < aged
+            client.close()
         finally:
             router.stop()
 

@@ -26,7 +26,8 @@ from typing import List
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 CHECKED_PACKAGES = ("src/repro/data", "src/repro/history",
-                    "src/repro/parallel", "src/repro/serving")
+                    "src/repro/parallel", "src/repro/serving",
+                    "src/repro/obs")
 
 
 def _is_public(name: str) -> bool:

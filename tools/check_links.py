@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Dead-link lint for README.md and docs/*.md.
+
+Docs drift when files move: a guide keeps pointing at a doc that was
+renamed, or at a source file a refactor relocated.  This checker
+extracts every markdown link from README.md and ``docs/*.md`` and
+verifies that each *relative* target resolves to a real file or
+directory (anchors are stripped; pure in-page ``#anchor`` links and
+absolute ``http(s)``/``mailto`` URLs are skipped — this lint is about
+the repository's own tree, not the network).
+
+Exit status 1 lists every dead link as ``file:line target``; wired
+into ``make lint`` via the ``docs-linkcheck`` target.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target) — target captured up to the first unescaped ')'.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# `target` inline references like "see `docs/ops.md`" are plain code
+# spans, not links — they are intentionally NOT checked.
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files() -> List[str]:
+    """README.md plus every markdown file under docs/."""
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs, name))
+    return [path for path in files if os.path.isfile(path)]
+
+
+def dead_links_in(path: str) -> List[Tuple[int, str]]:
+    """(line, target) pairs whose relative target does not resolve."""
+    base = os.path.dirname(path)
+    dead: List[Tuple[int, str]] = []
+    with open(path, encoding="utf-8") as handle:
+        in_fence = False
+        for lineno, line in enumerate(handle, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+            if in_fence:
+                continue      # fenced code: link syntax there is literal
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(base, target.split("#", 1)[0]))
+                if not os.path.exists(resolved):
+                    dead.append((lineno, target))
+    return dead
+
+
+def main() -> int:
+    failures: List[str] = []
+    checked = 0
+    for path in markdown_files():
+        checked += 1
+        rel = os.path.relpath(path, REPO_ROOT)
+        for lineno, target in dead_links_in(path):
+            failures.append(f"  {rel}:{lineno} {target}")
+    if failures:
+        print(f"dead relative links ({len(failures)}):", file=sys.stderr)
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        return 1
+    print(f"link lint: no dead relative links across {checked} "
+          "markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -161,6 +161,7 @@ def _readme_fixture() -> Dict[str, object]:
 BOOTSTRAPS: Dict[str, Callable[[], Dict[str, object]]] = {
     "README.md": _readme_fixture,
     "serving.md": _serving_fixture,
+    "ops.md": _serving_fixture,
     "data_format.md": _benchmark_directory_fixture,
     "data.md": _dataset_fixture,
     "history.md": _dataset_fixture,
